@@ -1,0 +1,223 @@
+package gimbal
+
+// The testing.B benchmarks behind Table 1 of the paper, plus hot-path
+// micro-benchmarks for the switch components. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Table 1a/1b measured the submit/complete CPU cost of the Gimbal pipeline
+// against a vanilla pass-through on a NULL device; BenchmarkTable1a* and
+// BenchmarkTable1b* are the equivalents for this implementation (one IO
+// per iteration through the full scheduler pipeline on a virtual-time
+// loop; the loop overhead is common to both schemes, so the relative gap
+// mirrors the paper's percentages).
+
+import (
+	"fmt"
+	"testing"
+
+	"gimbal/internal/baseline/vanilla"
+	"gimbal/internal/core"
+	"gimbal/internal/core/latmon"
+	"gimbal/internal/core/ratectl"
+	"gimbal/internal/core/sched"
+	"gimbal/internal/fabric"
+	"gimbal/internal/kvstore"
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+	"gimbal/internal/stats"
+)
+
+// benchPipeline pushes b.N 4KB reads through a scheduler over a NULL
+// device: the Table 1 measurement harness.
+func benchPipeline(b *testing.B, useGimbal bool, workers, qd int) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 8<<30, 100)
+	var s nvme.Scheduler
+	if useGimbal {
+		s = core.New(loop, dev, core.DefaultConfig())
+	} else {
+		s = vanilla.New(loop, dev)
+	}
+	remaining := b.N
+	rng := sim.NewRNG(3)
+	var submit func(t *nvme.Tenant)
+	submit = func(t *nvme.Tenant) {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		io := &nvme.IO{Op: nvme.OpRead, Offset: rng.Int63n(1<<20) * 4096, Size: 4096, Tenant: t}
+		io.Done = func(*nvme.IO, nvme.Completion) { submit(t) }
+		s.Enqueue(io)
+	}
+	tenants := make([]*nvme.Tenant, workers)
+	for i := range tenants {
+		tenants[i] = nvme.NewTenant(i, fmt.Sprintf("t%d", i))
+		s.Register(tenants[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, t := range tenants {
+		for i := 0; i < qd; i++ {
+			submit(t)
+		}
+	}
+	loop.Run()
+}
+
+// Table 1a: per-IO pipeline cost at QD1 and at 16 tenants x QD32.
+func BenchmarkTable1aVanillaQD1(b *testing.B)   { benchPipeline(b, false, 1, 1) }
+func BenchmarkTable1aGimbalQD1(b *testing.B)    { benchPipeline(b, true, 1, 1) }
+func BenchmarkTable1aVanilla16x32(b *testing.B) { benchPipeline(b, false, 16, 32) }
+func BenchmarkTable1aGimbal16x32(b *testing.B)  { benchPipeline(b, true, 16, 32) }
+
+// Table 1b: the NULL-device max IOPS configuration (8 tenants, deep
+// queues). IOPS = 1e9 / (ns/op).
+func BenchmarkTable1bVanilla(b *testing.B) { benchPipeline(b, false, 8, 32) }
+func BenchmarkTable1bGimbal(b *testing.B)  { benchPipeline(b, true, 8, 32) }
+
+// --- Hot-path micro-benchmarks ---
+
+func BenchmarkLatencyMonitorUpdate(b *testing.B) {
+	m := latmon.New(latmon.DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Update(int64(100_000 + i%500_000))
+	}
+}
+
+func BenchmarkTokenBucketRefillConsume(b *testing.B) {
+	e := ratectl.New(ratectl.DefaultConfig(), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Refill(int64(i)*1000, 3)
+		e.TryConsume(i%4 == 0, 4096)
+	}
+}
+
+func BenchmarkDRRSelectCommitComplete(b *testing.B) {
+	d := sched.New(sched.DefaultConfig(), func(io *nvme.IO) int64 { return int64(io.Size) })
+	tenants := make([]*nvme.Tenant, 16)
+	for i := range tenants {
+		tenants[i] = nvme.NewTenant(i, "t")
+		d.Register(tenants[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		io := &nvme.IO{Op: nvme.OpRead, Size: 4096, Priority: nvme.PriorityNormal,
+			Tenant: tenants[i%16]}
+		d.Enqueue(io)
+		got := d.Select()
+		d.Commit(got)
+		d.Complete(got)
+	}
+}
+
+func BenchmarkCapsuleEncodeDecode(b *testing.B) {
+	c := &fabric.CommandCapsule{CID: 7, Opcode: nvme.OpRead, SLBA: 123, Length: 4096}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = fabric.AppendCommand(buf[:0], c)
+		if _, _, err := fabric.DecodeCommand(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := stats.NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%10_000_000 + 1000))
+	}
+}
+
+func BenchmarkSSDReadPath(b *testing.B) {
+	loop := sim.NewLoop()
+	p := ssd.DCT983()
+	p.UsableBytes = 1 << 30
+	dev := ssd.New(loop, p)
+	dev.Precondition(ssd.Clean, sim.NewRNG(1))
+	rng := sim.NewRNG(2)
+	remaining := b.N
+	var next func()
+	next = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		dev.Submit(&ssd.Request{Kind: ssd.OpRead, Offset: rng.Int63n(1<<18) * 4096,
+			Size: 4096, Done: func(*ssd.Request) { next() }})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 32; i++ {
+		next()
+	}
+	loop.Run()
+}
+
+func BenchmarkSSDWritePathWithGC(b *testing.B) {
+	loop := sim.NewLoop()
+	p := ssd.DCT983()
+	p.UsableBytes = 512 << 20
+	dev := ssd.New(loop, p)
+	dev.Precondition(ssd.Fragmented, sim.NewRNG(1))
+	rng := sim.NewRNG(2)
+	remaining := b.N
+	var next func()
+	next = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		dev.Submit(&ssd.Request{Kind: ssd.OpWrite, Offset: rng.Int63n(1<<17) * 4096,
+			Size: 4096, Done: func(*ssd.Request) { next() }})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 32; i++ {
+		next()
+	}
+	loop.Run()
+}
+
+func BenchmarkMemtablePut(b *testing.B) {
+	m := kvstore.NewMemtable(sim.NewRNG(1))
+	v := make([]byte, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Put(kvstore.Entry{K: kvstore.Key(i % 100_000), V: v, VLen: 100})
+	}
+}
+
+func BenchmarkBloomLookup(b *testing.B) {
+	f := kvstore.NewBloom(100_000, 10)
+	for i := 0; i < 100_000; i++ {
+		f.Add(kvstore.Key(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(kvstore.Key(i))
+	}
+}
+
+func BenchmarkEventLoopStep(b *testing.B) {
+	loop := sim.NewLoop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			loop.After(100, tick)
+		}
+	}
+	loop.After(100, tick)
+	loop.Run()
+}

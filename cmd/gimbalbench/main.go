@@ -1,0 +1,70 @@
+// Command gimbalbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gimbalbench -list
+//	gimbalbench -exp fig6
+//	gimbalbench -exp fig6,fig7 -format csv
+//	gimbalbench -exp all
+//
+// Each experiment prints the rows/series the corresponding paper figure or
+// table reports, with a note summarizing the shape the paper observed.
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gimbal/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		format = flag.String("format", "table", "output format: table or csv")
+		list   = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range bench.IDs() {
+			e, _ := bench.Lookup(id)
+			fmt.Printf("  %-16s %s\n", id, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = bench.IDs()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		results := e.Run()
+		for _, r := range results {
+			switch *format {
+			case "csv":
+				r.WriteCSV(os.Stdout)
+			default:
+				r.WriteTable(os.Stdout)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+}

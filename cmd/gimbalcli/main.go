@@ -1,0 +1,111 @@
+// Command gimbalcli is the initiator-side load generator and admin tool
+// for gimbald: an fio-style closed-loop benchmark over the TCP capsule
+// protocol, with the Gimbal credit gate on the client when the target runs
+// the Gimbal scheme.
+//
+//	gimbalcli -addr 127.0.0.1:4420 -op read -size 4096 -qd 32 -dur 10s
+//	gimbalcli -addr 127.0.0.1:4420 -op write -size 131072 -qd 4 -seq -dur 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gimbal/internal/fabric"
+	"gimbal/internal/nvme"
+	"gimbal/internal/stats"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:4420", "target address")
+		scheme = flag.String("scheme", "gimbal", "client gate matching the target scheme")
+		op     = flag.String("op", "read", "read or write")
+		size   = flag.Int("size", 4096, "IO size in bytes (4KB aligned)")
+		qd     = flag.Int("qd", 32, "queue depth")
+		seq    = flag.Bool("seq", false, "sequential offsets")
+		nsid   = flag.Int("ns", 0, "namespace (SSD index)")
+		span   = flag.Int64("span", 1<<30, "offset range in bytes")
+		dur    = flag.Duration("dur", 10*time.Second, "run duration")
+	)
+	flag.Parse()
+
+	sch, err := fabric.ParseScheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := fabric.DialTCP(*addr, sch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	opcode := nvme.OpRead
+	if *op == "write" {
+		opcode = nvme.OpWrite
+	}
+	var payload []byte
+	if opcode == nvme.OpWrite {
+		payload = make([]byte, *size)
+	}
+
+	var (
+		mu    sync.Mutex
+		hist  = stats.NewHistogram()
+		bytes atomic.Int64
+		errs  atomic.Int64
+		stop  = time.Now().Add(*dur)
+		wg    sync.WaitGroup
+	)
+	var cursor atomic.Int64
+	nextOffset := func(r *rand.Rand) int64 {
+		slots := *span / int64(*size)
+		if *seq {
+			return (cursor.Add(1) % slots) * int64(*size)
+		}
+		return r.Int63n(slots) * int64(*size)
+	}
+	for i := 0; i < *qd; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				rsp, err := client.Do(&fabric.CommandCapsule{
+					Opcode: opcode,
+					NSID:   uint8(*nsid),
+					SLBA:   uint64(nextOffset(r)) / 4096,
+					Length: uint32(*size),
+					Data:   payload,
+				})
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				if rsp.Status != nvme.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				lat := time.Since(t0).Nanoseconds()
+				mu.Lock()
+				hist.Record(lat)
+				mu.Unlock()
+				bytes.Add(int64(*size))
+			}
+		}(int64(i) + 1)
+	}
+	wg.Wait()
+
+	sec := dur.Seconds()
+	fmt.Printf("%s %dB qd%d: %.1f MB/s, %.0f IOPS\n",
+		*op, *size, *qd, float64(bytes.Load())/1e6/sec, float64(hist.Count())/sec)
+	fmt.Printf("latency: avg %.0fus p50 %dus p99 %dus p99.9 %dus max %dus\n",
+		hist.Mean()/1e3, hist.P50()/1000, hist.P99()/1000, hist.P999()/1000, hist.Max()/1000)
+	fmt.Printf("errors: %d, credit headroom at exit: %d\n", errs.Load(), client.Headroom())
+}

@@ -1,0 +1,85 @@
+// Command gimbald is a live NVMe-oF-style storage target over TCP: a
+// simulated JBOF (wall-clock SSD models) fronted by the Gimbal storage
+// switch — or any of the baseline schemes — serving the capsule protocol
+// of internal/fabric on a listening socket.
+//
+//	gimbald -listen 127.0.0.1:4420 -ssds 4 -scheme gimbal -cond fragmented
+//
+// Drive it with cmd/gimbalcli.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gimbal/internal/fabric"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:4420", "listen address")
+		ssds     = flag.Int("ssds", 4, "number of simulated SSDs")
+		scheme   = flag.String("scheme", "gimbal", "scheduler: gimbal|vanilla|reflex|flashfq|parda")
+		cond     = flag.String("cond", "clean", "precondition: fresh|clean|fragmented")
+		capacity = flag.Int64("capacity", 2<<30, "per-SSD usable bytes")
+	)
+	flag.Parse()
+
+	sch, err := fabric.ParseScheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var condition ssd.Condition
+	switch *cond {
+	case "fresh":
+		condition = ssd.Fresh
+	case "clean":
+		condition = ssd.Clean
+	case "fragmented":
+		condition = ssd.Fragmented
+	default:
+		log.Fatalf("unknown condition %q", *cond)
+	}
+
+	rs := sim.NewRealScheduler()
+	rng := sim.NewRNG(uint64(os.Getpid()))
+	var devs []ssd.Device
+	for i := 0; i < *ssds; i++ {
+		p := ssd.DCT983()
+		p.UsableBytes = *capacity
+		d := ssd.New(rs, p)
+		log.Printf("preconditioning ssd %d (%s, %s)...", i, p.Name, condition)
+		d.Precondition(condition, rng.Fork())
+		devs = append(devs, d)
+	}
+	target := fabric.NewTarget(rs, devs, fabric.DefaultTargetConfig(sch))
+	srv, err := fabric.ServeTCP(rs, target, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gimbald: %d x %s SSDs (%s) behind %q scheme, listening on %s\n",
+		*ssds, condition, byteSize(*capacity), sch, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	srv.Close()
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

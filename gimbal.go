@@ -1,0 +1,294 @@
+// Package gimbal is the public API of this repository: a from-scratch Go
+// reproduction of "Gimbal: Enabling Multi-tenant Storage Disaggregation on
+// SmartNIC JBOFs" (SIGCOMM 2021).
+//
+// The package wraps the internal building blocks — the discrete-event SSD
+// model, the NVMe-oF fabric, the Gimbal storage switch and the baseline
+// schedulers — behind a small facade:
+//
+//	s := gimbal.NewSim(42)
+//	jbof, _ := s.NewJBOF(gimbal.JBOFConfig{
+//		Scheme: gimbal.SchemeGimbal, SSDs: 1, Condition: gimbal.Fragmented,
+//	})
+//	reader := jbof.StartWorkload(0, gimbal.Workload{Read: 1, IOSize: 4096, QueueDepth: 32})
+//	writer := jbof.StartWorkload(0, gimbal.Workload{Read: 0, IOSize: 4096, QueueDepth: 32})
+//	s.Run(2 * time.Second) // two seconds of simulated time
+//	fmt.Println(reader.BandwidthMBps(), writer.BandwidthMBps())
+//
+// Experiments reproducing the paper's figures live in cmd/gimbalbench; the
+// live TCP target and initiator are cmd/gimbald and cmd/gimbalcli; runnable
+// examples are under examples/.
+package gimbal
+
+import (
+	"fmt"
+	"time"
+
+	"gimbal/internal/fabric"
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+	"gimbal/internal/workload"
+)
+
+// Scheme names a multi-tenancy mechanism.
+type Scheme string
+
+// The schemes of the paper's evaluation (§5.1).
+const (
+	SchemeGimbal  Scheme = "gimbal"
+	SchemeVanilla Scheme = "vanilla"
+	SchemeReflex  Scheme = "reflex"
+	SchemeFlashFQ Scheme = "flashfq"
+	SchemeParda   Scheme = "parda"
+)
+
+// Condition is an SSD pre-conditioning state (§5.1).
+type Condition string
+
+// Conditions.
+const (
+	Fresh      Condition = "fresh"
+	Clean      Condition = "clean"
+	Fragmented Condition = "fragmented"
+)
+
+func (c Condition) internal() (ssd.Condition, error) {
+	switch c {
+	case "", Fresh:
+		return ssd.Fresh, nil
+	case Clean:
+		return ssd.Clean, nil
+	case Fragmented:
+		return ssd.Fragmented, nil
+	}
+	return 0, fmt.Errorf("gimbal: unknown condition %q", c)
+}
+
+// Sim is a deterministic simulation universe with a virtual clock.
+type Sim struct {
+	loop *sim.Loop
+	rng  *sim.RNG
+}
+
+// NewSim creates a simulation; runs with the same seed and the same calls
+// produce identical results.
+func NewSim(seed uint64) *Sim {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Sim{loop: sim.NewLoop(), rng: sim.NewRNG(seed)}
+}
+
+// Run advances the simulation by d of virtual time.
+func (s *Sim) Run(d time.Duration) { s.loop.RunFor(int64(d)) }
+
+// Now returns the current virtual time since the simulation epoch.
+func (s *Sim) Now() time.Duration { return time.Duration(s.loop.Now()) }
+
+// JBOFConfig describes one storage node.
+type JBOFConfig struct {
+	Scheme    Scheme    // default SchemeGimbal
+	SSDs      int       // default 1
+	Condition Condition // default Fresh
+	// CapacityBytes per SSD; default 8 GiB (the scaled DCT983 model).
+	CapacityBytes int64
+	// P3600 selects the Intel P3600-like device model (§5.8) instead of
+	// the Samsung DCT983 model.
+	P3600 bool
+}
+
+// JBOF is a SmartNIC storage node: SSDs behind per-SSD scheduler pipelines.
+type JBOF struct {
+	sim     *Sim
+	target  *fabric.Target
+	devices []*ssd.SSD
+	nextID  int
+}
+
+// NewJBOF builds and pre-conditions a storage node.
+func (s *Sim) NewJBOF(cfg JBOFConfig) (*JBOF, error) {
+	if cfg.SSDs <= 0 {
+		cfg.SSDs = 1
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = SchemeGimbal
+	}
+	scheme, err := fabric.ParseScheme(string(cfg.Scheme))
+	if err != nil {
+		return nil, err
+	}
+	cond, err := cfg.Condition.internal()
+	if err != nil {
+		return nil, err
+	}
+	params := ssd.DCT983()
+	if cfg.P3600 {
+		params = ssd.P3600()
+	}
+	if cfg.CapacityBytes > 0 {
+		params.UsableBytes = cfg.CapacityBytes
+	}
+	j := &JBOF{sim: s}
+	var devs []ssd.Device
+	for i := 0; i < cfg.SSDs; i++ {
+		d := ssd.New(s.loop, params)
+		d.Precondition(cond, s.rng.Fork())
+		devs = append(devs, d)
+		j.devices = append(j.devices, d)
+	}
+	j.target = fabric.NewTarget(s.loop, devs, fabric.DefaultTargetConfig(scheme))
+	return j, nil
+}
+
+// SSDCount returns the number of SSDs.
+func (j *JBOF) SSDCount() int { return len(j.devices) }
+
+// Capacity returns the usable bytes of one SSD.
+func (j *JBOF) Capacity(ssdIdx int) int64 { return j.devices[ssdIdx].Capacity() }
+
+// Priority mirrors the NVMe-oF request priority tag (§3.5).
+type Priority int
+
+// Priorities.
+const (
+	High   Priority = 0
+	Normal Priority = 1
+	Low    Priority = 2
+)
+
+// Workload is an fio-style stream description.
+type Workload struct {
+	Name       string
+	Read       float64 // fraction of reads: 1 read-only, 0 write-only
+	IOSize     int     // bytes, 4KB multiple
+	QueueDepth int
+	Sequential bool
+	// RateLimitMBps caps the stream (0 = unlimited).
+	RateLimitMBps float64
+	Priority      Priority
+}
+
+// Stream is a running workload with live metrics.
+type Stream struct {
+	sim    *Sim
+	worker *workload.Worker
+	sess   *fabric.Session
+}
+
+// StartWorkload attaches a new tenant running w against one SSD. The
+// stream runs until Stop (or for 10 simulated hours).
+func (j *JBOF) StartWorkload(ssdIdx int, w Workload) *Stream {
+	if w.IOSize == 0 {
+		w.IOSize = 4096
+	}
+	if w.QueueDepth == 0 {
+		w.QueueDepth = 1
+	}
+	j.nextID++
+	name := w.Name
+	if name == "" {
+		name = fmt.Sprintf("tenant-%d", j.nextID)
+	}
+	tenant := nvme.NewTenant(j.nextID, name)
+	sess := j.target.Connect(tenant, ssdIdx)
+	prof := workload.Profile{
+		Name:         name,
+		ReadRatio:    w.Read,
+		IOSize:       w.IOSize,
+		QD:           w.QueueDepth,
+		Seq:          w.Sequential,
+		Priority:     nvme.Priority(w.Priority),
+		RateLimitBps: int64(w.RateLimitMBps * 1e6),
+		Span:         j.devices[ssdIdx].Capacity(),
+	}
+	wk := workload.NewWorker(j.sim.loop, j.sim.rng.Fork(), prof, tenant, sess)
+	wk.Start(j.sim.loop.Now() + 10*3600*sim.Second)
+	return &Stream{sim: j.sim, worker: wk, sess: sess}
+}
+
+// Stop ends the stream's submissions.
+func (s *Stream) Stop() { s.worker.Stop() }
+
+// ResetStats restarts measurement (typically after a warmup period).
+func (s *Stream) ResetStats() { s.worker.ResetStats() }
+
+// BandwidthMBps returns the measured bandwidth since the last reset.
+func (s *Stream) BandwidthMBps() float64 { return s.worker.BandwidthMBps() }
+
+// Latency summarizes the stream's end-to-end latency since the last reset.
+type Latency struct {
+	Avg, P50, P99, P999 time.Duration
+	Count               uint64
+}
+
+// ReadLatency returns the read latency summary.
+func (s *Stream) ReadLatency() Latency { return toLatency(s.worker.ReadLat) }
+
+// WriteLatency returns the write latency summary.
+func (s *Stream) WriteLatency() Latency { return toLatency(s.worker.WriteLat) }
+
+func toLatency(h interface {
+	Mean() float64
+	Quantile(float64) int64
+	Count() uint64
+}) Latency {
+	return Latency{
+		Avg:   time.Duration(h.Mean()),
+		P50:   time.Duration(h.Quantile(0.5)),
+		P99:   time.Duration(h.Quantile(0.99)),
+		P999:  time.Duration(h.Quantile(0.999)),
+		Count: h.Count(),
+	}
+}
+
+// CreditHeadroom returns the tenant's current flow-control headroom (the
+// §4.3 load-balancing signal); very large when the scheme has no client
+// gate.
+func (s *Stream) CreditHeadroom() int { return s.sess.Headroom() }
+
+// View is the per-SSD virtual view Gimbal exposes to tenants (§3.7).
+type View struct {
+	TargetRateMBps     float64
+	CompletionRateMBps float64
+	WriteCost          float64
+	ReadShareMBps      float64
+	WriteShareMBps     float64
+}
+
+// View returns the SSD's virtual view; ok is false unless the JBOF runs
+// the Gimbal scheme.
+func (j *JBOF) View(ssdIdx int) (View, bool) {
+	g := j.target.Pipeline(ssdIdx).Gimbal
+	if g == nil {
+		return View{}, false
+	}
+	v := g.View()
+	return View{
+		TargetRateMBps:     v.TargetRateBps / 1e6,
+		CompletionRateMBps: v.CompletionRateBps / 1e6,
+		WriteCost:          v.WriteCost,
+		ReadShareMBps:      v.ReadShareBps / 1e6,
+		WriteShareMBps:     v.WriteShareBps / 1e6,
+	}, true
+}
+
+// DeviceStats reports SSD-internal counters (write amplification, GC).
+type DeviceStats struct {
+	ReadBytes, WriteBytes int64
+	WriteAmplification    float64
+	GCMovedPages          uint64
+	Erases                uint64
+}
+
+// DeviceStats returns internal counters for one SSD.
+func (j *JBOF) DeviceStats(ssdIdx int) DeviceStats {
+	st := j.devices[ssdIdx].Stats()
+	return DeviceStats{
+		ReadBytes:          st.ReadBytes,
+		WriteBytes:         st.WriteBytes,
+		WriteAmplification: st.WriteAmp,
+		GCMovedPages:       st.GCMovedPages,
+		Erases:             st.Erases,
+	}
+}

@@ -1,0 +1,132 @@
+package gimbal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	s := NewSim(42)
+	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeGimbal, SSDs: 2, Condition: Clean,
+		CapacityBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jbof.SSDCount() != 2 {
+		t.Fatalf("SSDs = %d", jbof.SSDCount())
+	}
+	if jbof.Capacity(0) != 1<<30 {
+		t.Fatalf("capacity = %d", jbof.Capacity(0))
+	}
+	st := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 4096, QueueDepth: 8})
+	s.Run(200 * time.Millisecond)
+	if st.BandwidthMBps() <= 0 {
+		t.Fatal("no bandwidth measured")
+	}
+	lat := st.ReadLatency()
+	if lat.Count == 0 || lat.Avg <= 0 || lat.P999 < lat.P50 {
+		t.Fatalf("latency summary inconsistent: %+v", lat)
+	}
+	if _, ok := jbof.View(0); !ok {
+		t.Fatal("gimbal JBOF should expose a view")
+	}
+	st.Stop()
+	if s.Now() < 200*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestFacadeVanillaHasNoView(t *testing.T) {
+	s := NewSim(1)
+	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeVanilla, CapacityBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := jbof.View(0); ok {
+		t.Fatal("vanilla JBOF should not expose a virtual view")
+	}
+}
+
+func TestFacadeBadConfigs(t *testing.T) {
+	s := NewSim(1)
+	if _, err := s.NewJBOF(JBOFConfig{Scheme: "bogus"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	if _, err := s.NewJBOF(JBOFConfig{Condition: "soggy"}); err == nil {
+		t.Fatal("bogus condition accepted")
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		s := NewSim(7)
+		jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeGimbal, Condition: Fragmented,
+			CapacityBytes: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 4096, QueueDepth: 16})
+		b := jbof.StartWorkload(0, Workload{Read: 0, IOSize: 4096, QueueDepth: 16})
+		s.Run(300 * time.Millisecond)
+		return a.BandwidthMBps(), b.BandwidthMBps()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("same seed diverged: (%v,%v) vs (%v,%v)", a1, b1, a2, b2)
+	}
+	if a1 <= 0 || b1 <= 0 {
+		t.Fatalf("streams idle: %v %v", a1, b1)
+	}
+}
+
+func TestFacadeRateLimit(t *testing.T) {
+	s := NewSim(3)
+	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeVanilla, Condition: Clean,
+		CapacityBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 4096, QueueDepth: 16,
+		RateLimitMBps: 50})
+	s.Run(1 * time.Second)
+	if bw := st.BandwidthMBps(); bw > 60 || bw < 35 {
+		t.Fatalf("rate-limited stream at %.1f MB/s, want ~50", bw)
+	}
+}
+
+func TestFacadeP3600Model(t *testing.T) {
+	s := NewSim(3)
+	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeVanilla, Condition: Clean,
+		CapacityBytes: 1 << 30, P3600: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 128 << 10, QueueDepth: 8})
+	s.Run(500 * time.Millisecond)
+	// The P3600 model caps 128KB reads near 2.1 GB/s (vs 3.2 on DCT983).
+	if bw := st.BandwidthMBps(); bw < 1500 || bw > 2400 {
+		t.Fatalf("P3600 128KB read = %.0f MB/s, want ~2100", bw)
+	}
+}
+
+func TestFacadeDeviceStats(t *testing.T) {
+	s := NewSim(3)
+	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeGimbal, Condition: Fragmented,
+		CapacityBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbof.StartWorkload(0, Workload{Read: 0, IOSize: 4096, QueueDepth: 16})
+	s.Run(500 * time.Millisecond)
+	st := jbof.DeviceStats(0)
+	if st.WriteBytes == 0 {
+		t.Fatal("no writes recorded")
+	}
+	if st.WriteAmplification < 1.5 {
+		t.Fatalf("fragmented WA = %.2f, want amplification", st.WriteAmplification)
+	}
+	if st.GCMovedPages == 0 || st.Erases == 0 {
+		t.Fatalf("GC idle on fragmented device: %+v", st)
+	}
+}

@@ -1,0 +1,3 @@
+module gimbal
+
+go 1.22

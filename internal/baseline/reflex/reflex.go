@@ -1,0 +1,178 @@
+// Package reflex reimplements the ReFlex [Klimovic et al., ASPLOS'17]
+// request-cost scheduler as ported to the SmartNIC JBOF in §5.1 of the
+// Gimbal paper: a token-based scheduler whose device capacity and per-IO
+// costs come from an offline-profiled model. The token unit is "one 4KB
+// random read"; a request of size s costs s/4KB tokens, writes cost a fixed
+// pre-calibrated multiple. Tokens replenish at the profiled device rate and
+// tenants draw them in deficit-round-robin order.
+//
+// The model is static: calibrated once (against the worst-case/fragmented
+// device, which is why it "only works on Fragment-SSD" — §5.3), it
+// overestimates the cost of writes and large IOs on a clean device and
+// under-utilizes it, and it has no flow control, so ingress queues are
+// unbounded and tail latency inflates under consolidation.
+package reflex
+
+import (
+	"container/list"
+
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// Config is the offline-calibrated cost model.
+type Config struct {
+	// TokenRate is the profiled device capacity in 4KB-read tokens/sec.
+	TokenRate float64
+	// WriteFactor is the calibrated write:read cost ratio (from the
+	// worst-case profile, like Gimbal's write_cost_worst).
+	WriteFactor float64
+	// Burst is the token bucket depth; must cover the largest request.
+	Burst float64
+}
+
+// DefaultConfig returns a model profiled against the DCT983 device model:
+// ~410K 4KB-read tokens/s and a worst-case write factor of 9. The burst
+// must cover the costliest single request (a 128KB write = 32 × 9 = 288
+// tokens).
+func DefaultConfig() Config {
+	return Config{TokenRate: 410_000, WriteFactor: 9, Burst: 576}
+}
+
+type tenant struct {
+	queue   []*nvme.IO
+	deficit float64
+	elem    *list.Element
+}
+
+// Scheduler implements nvme.Scheduler.
+type Scheduler struct {
+	cfg Config
+	clk sim.Scheduler
+	sub *nvme.Submitter
+
+	tenants map[*nvme.Tenant]*tenant
+	active  *list.List
+	tokens  float64
+	last    int64
+	timer   *sim.Event
+	quantum float64
+
+	Submits     int64
+	Completions int64
+}
+
+// New returns a ReFlex scheduler over dev.
+func New(clk sim.Scheduler, dev ssd.Device, cfg Config) *Scheduler {
+	return &Scheduler{
+		cfg:     cfg,
+		clk:     clk,
+		sub:     nvme.NewSubmitter(clk, dev),
+		tenants: make(map[*nvme.Tenant]*tenant),
+		active:  list.New(),
+		tokens:  cfg.Burst,
+		last:    clk.Now(),
+		quantum: 32, // one 128KB request per round
+	}
+}
+
+// Name implements nvme.Scheduler.
+func (s *Scheduler) Name() string { return "reflex" }
+
+// Register implements nvme.Scheduler.
+func (s *Scheduler) Register(t *nvme.Tenant) {
+	if _, ok := s.tenants[t]; !ok {
+		s.tenants[t] = &tenant{}
+	}
+}
+
+// cost returns the request's token cost under the offline model.
+func (s *Scheduler) cost(io *nvme.IO) float64 {
+	pages := float64((io.Size + 4095) / 4096)
+	if io.Op.IsWrite() {
+		return pages * s.cfg.WriteFactor
+	}
+	if io.Op == nvme.OpRead {
+		return pages
+	}
+	return 0 // flush/trim are not modeled by ReFlex
+}
+
+// Enqueue implements nvme.Scheduler.
+func (s *Scheduler) Enqueue(io *nvme.IO) {
+	if st := s.sub.Check(io); st != nvme.StatusOK {
+		io.Done(io, nvme.Completion{Status: st})
+		return
+	}
+	io.Arrival = s.clk.Now()
+	ts := s.tenants[io.Tenant]
+	if ts == nil {
+		panic("reflex: unregistered tenant")
+	}
+	ts.queue = append(ts.queue, io)
+	if ts.elem == nil {
+		ts.elem = s.active.PushBack(ts)
+	}
+	s.pump()
+}
+
+func (s *Scheduler) refill() {
+	now := s.clk.Now()
+	if dt := now - s.last; dt > 0 {
+		s.tokens += s.cfg.TokenRate * float64(dt) / 1e9
+		if s.tokens > s.cfg.Burst {
+			s.tokens = s.cfg.Burst
+		}
+		s.last = now
+	}
+}
+
+func (s *Scheduler) pump() {
+	if s.timer != nil {
+		s.timer.Cancel()
+		s.timer = nil
+	}
+	s.refill()
+	for s.active.Len() > 0 {
+		ts := s.active.Front().Value.(*tenant)
+		if len(ts.queue) == 0 {
+			s.active.Remove(ts.elem)
+			ts.elem = nil
+			ts.deficit = 0
+			continue
+		}
+		io := ts.queue[0]
+		c := s.cost(io)
+		if c > s.cfg.Burst {
+			// A request costlier than the bucket capacity could never be
+			// admitted; charge the whole bucket instead of wedging.
+			c = s.cfg.Burst
+		}
+		if ts.deficit < c {
+			ts.deficit += s.quantum
+			s.active.MoveToBack(ts.elem)
+			continue
+		}
+		if s.tokens < c {
+			// Arm a timer for when the bucket covers the cost.
+			wait := int64((c - s.tokens) / s.cfg.TokenRate * 1e9)
+			if wait < sim.Microsecond {
+				wait = sim.Microsecond
+			}
+			s.timer = s.clk.After(wait, s.pump)
+			return
+		}
+		s.tokens -= c
+		ts.deficit -= c
+		ts.queue = ts.queue[1:]
+		s.Submits++
+		s.sub.Submit(io, s.onDone)
+	}
+}
+
+func (s *Scheduler) onDone(io *nvme.IO) {
+	s.Completions++
+	io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io)})
+	s.pump()
+}

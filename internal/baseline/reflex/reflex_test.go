@@ -1,0 +1,111 @@
+package reflex
+
+import (
+	"testing"
+
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+func rig(cfg Config) (*sim.Loop, *Scheduler, *nvme.Tenant) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 1<<30, 1000)
+	s := New(loop, dev, cfg)
+	tn := nvme.NewTenant(0, "t")
+	s.Register(tn)
+	return loop, s, tn
+}
+
+// drive runs a closed-loop stream for dur and returns completed ops.
+func drive(loop *sim.Loop, s *Scheduler, tn *nvme.Tenant, op nvme.Opcode, size, qd int, dur int64) int {
+	done := 0
+	stop := loop.Now() + dur
+	var submit func()
+	submit = func() {
+		if loop.Now() >= stop {
+			return
+		}
+		s.Enqueue(&nvme.IO{Op: op, Offset: 0, Size: size, Tenant: tn,
+			Done: func(*nvme.IO, nvme.Completion) { done++; submit() }})
+	}
+	for i := 0; i < qd; i++ {
+		submit()
+	}
+	loop.RunUntil(stop)
+	loop.Run()
+	return done
+}
+
+func TestTokenRateCapsReadIOPS(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TokenRate = 10_000 // 10K 4KB reads/sec
+	loop, s, tn := rig(cfg)
+	done := drive(loop, s, tn, nvme.OpRead, 4096, 64, sim.Second)
+	if done < 9000 || done > 11500 {
+		t.Fatalf("completed %d reads in 1s, want ~10000 (token cap)", done)
+	}
+}
+
+func TestWriteFactorThrottlesWrites(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TokenRate = 90_000
+	cfg.WriteFactor = 9
+	loop, s, tn := rig(cfg)
+	done := drive(loop, s, tn, nvme.OpWrite, 4096, 64, sim.Second)
+	// Each write costs 9 tokens: ~10K writes/sec.
+	if done < 9000 || done > 11500 {
+		t.Fatalf("completed %d writes in 1s, want ~10000 (9x cost)", done)
+	}
+}
+
+func TestLargeIOCostProportionalToSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TokenRate = 32_000 // 1000 x 128KB reads/sec
+	loop, s, tn := rig(cfg)
+	done := drive(loop, s, tn, nvme.OpRead, 128<<10, 16, sim.Second)
+	if done < 900 || done > 1150 {
+		t.Fatalf("completed %d 128KB reads in 1s, want ~1000", done)
+	}
+}
+
+func TestOversizedRequestDoesNotWedge(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Burst = 16 // smaller than a 128KB write's 288-token cost
+	loop, s, tn := rig(cfg)
+	done := drive(loop, s, tn, nvme.OpWrite, 128<<10, 1, 100*sim.Millisecond)
+	if done == 0 {
+		t.Fatal("cost > burst wedged the scheduler (regression)")
+	}
+}
+
+func TestDRRSharesTokensAcrossTenants(t *testing.T) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 1<<30, 1000)
+	cfg := DefaultConfig()
+	cfg.TokenRate = 20_000
+	s := New(loop, dev, cfg)
+	counts := map[int]int{}
+	for id := 0; id < 2; id++ {
+		tn := nvme.NewTenant(id, "t")
+		s.Register(tn)
+		id := id
+		var submit func()
+		submit = func() {
+			if loop.Now() >= sim.Second {
+				return
+			}
+			s.Enqueue(&nvme.IO{Op: nvme.OpRead, Offset: 0, Size: 4096, Tenant: tn,
+				Done: func(*nvme.IO, nvme.Completion) { counts[id]++; submit() }})
+		}
+		for i := 0; i < 32; i++ {
+			submit()
+		}
+	}
+	loop.RunUntil(sim.Second)
+	loop.Run()
+	a, b := float64(counts[0]), float64(counts[1])
+	if a == 0 || b == 0 || a/b > 1.2 || b/a > 1.2 {
+		t.Fatalf("unfair token split: %v vs %v", a, b)
+	}
+}

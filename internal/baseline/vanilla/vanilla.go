@@ -1,0 +1,43 @@
+// Package vanilla is the pass-through target used as the "Vanilla SPDK"
+// reference (§5.6 Fig 13, Table 1): no scheduling, no cost model, no flow
+// control — every IO goes straight to the device in arrival order.
+package vanilla
+
+import (
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// Scheduler implements nvme.Scheduler with FIFO pass-through.
+type Scheduler struct {
+	sub *nvme.Submitter
+
+	Submits     int64
+	Completions int64
+}
+
+// New returns a pass-through scheduler over dev.
+func New(clk sim.Scheduler, dev ssd.Device) *Scheduler {
+	return &Scheduler{sub: nvme.NewSubmitter(clk, dev)}
+}
+
+// Name implements nvme.Scheduler.
+func (s *Scheduler) Name() string { return "vanilla" }
+
+// Register implements nvme.Scheduler (no per-tenant state).
+func (s *Scheduler) Register(t *nvme.Tenant) {}
+
+// Enqueue implements nvme.Scheduler.
+func (s *Scheduler) Enqueue(io *nvme.IO) {
+	if st := s.sub.Check(io); st != nvme.StatusOK {
+		io.Done(io, nvme.Completion{Status: st})
+		return
+	}
+	io.Arrival = s.sub.Sched.Now()
+	s.Submits++
+	s.sub.Submit(io, func(io *nvme.IO) {
+		s.Completions++
+		io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io)})
+	})
+}

@@ -1,0 +1,122 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (plus the appendix characterizations and the
+// design ablations), producing the same rows and series the paper reports.
+// cmd/gimbalbench is the CLI front end.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's output: a titled table plus optional notes
+// comparing against the paper's reported numbers.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTable renders the result as an aligned text table.
+func (r *Result) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the result as CSV.
+func (r *Result) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", r.ID, r.Title)
+	fmt.Fprintln(w, strings.Join(r.Header, ","))
+	for _, row := range r.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Experiment is a registered runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() []*Result
+}
+
+var registry = map[string]*Experiment{}
+var order []string
+
+func register(id, title string, run func() []*Result) {
+	if _, dup := registry[id]; dup {
+		panic("bench: duplicate experiment " + id)
+	}
+	registry[id] = &Experiment{ID: id, Title: title, Run: run}
+	order = append(order, id)
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment ids in registration order.
+func IDs() []string {
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f0 formats a float with no decimals.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// us renders nanoseconds as microseconds.
+func us(ns int64) string { return fmt.Sprintf("%.0f", float64(ns)/1e3) }

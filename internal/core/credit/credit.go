@@ -1,0 +1,72 @@
+// Package credit implements the client side of Gimbal's end-to-end
+// credit-based flow control (§3.6, Algorithm 3). The target computes each
+// tenant's credit (allotted virtual slots × IO count of the latest
+// completed slot) and piggybacks it on every completion capsule; the client
+// gates submissions so its in-flight count never exceeds the credit,
+// avoiding queue buildup at the switch ingress.
+package credit
+
+// Gate is one tenant's client-side credit state. The zero value is not
+// usable; use NewGate.
+type Gate struct {
+	enabled  bool
+	total    uint32
+	inflight int
+}
+
+// NewGate returns a gate seeded with an initial credit. With enabled=false
+// the gate admits everything (baseline schemes without flow control).
+func NewGate(enabled bool, initial uint32) *Gate {
+	if initial == 0 {
+		initial = 1
+	}
+	return &Gate{enabled: enabled, total: initial}
+}
+
+// CanSubmit reports whether another IO may be sent (Algorithm 3
+// nvmeof_req_submit: credit_tot > inflight).
+func (g *Gate) CanSubmit() bool {
+	return !g.enabled || g.inflight < int(g.total)
+}
+
+// OnSubmit records a submission. Callers must have checked CanSubmit;
+// submitting past the credit is a protocol violation the target would
+// penalize, so it panics here.
+func (g *Gate) OnSubmit() {
+	if !g.CanSubmit() {
+		panic("credit: submission past credit limit")
+	}
+	g.inflight++
+}
+
+// OnCompletion records a completion carrying the target's refreshed credit
+// (0 means "no update" and keeps the previous value).
+func (g *Gate) OnCompletion(credit uint32) {
+	if g.inflight <= 0 {
+		panic("credit: completion without submission")
+	}
+	g.inflight--
+	if credit > 0 {
+		g.total = credit
+	}
+}
+
+// Credit returns the latest granted credit.
+func (g *Gate) Credit() uint32 { return g.total }
+
+// Inflight returns the number of outstanding IOs.
+func (g *Gate) Inflight() int { return g.inflight }
+
+// Headroom returns how many more IOs may be submitted right now; it is the
+// load signal the blobstore's read load balancer compares across replicas
+// (§4.3: "the one with more credits is able to absorb more requests").
+func (g *Gate) Headroom() int {
+	if !g.enabled {
+		return 1 << 30
+	}
+	h := int(g.total) - g.inflight
+	if h < 0 {
+		return 0
+	}
+	return h
+}

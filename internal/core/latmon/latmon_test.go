@@ -1,0 +1,153 @@
+package latmon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config { return DefaultConfig() }
+
+func TestLowLatencyIsUnderutilized(t *testing.T) {
+	m := New(cfg())
+	for i := 0; i < 50; i++ {
+		if st := m.Update(80_000); st != Underutilized && i > 5 {
+			t.Fatalf("sample %d: state = %v, want underutilized", i, st)
+		}
+	}
+	if m.EWMA() != 80_000 {
+		t.Fatalf("ewma = %v", m.EWMA())
+	}
+}
+
+func TestMidLatencyIsCongestionAvoidance(t *testing.T) {
+	m := New(cfg())
+	var st State
+	for i := 0; i < 50; i++ {
+		st = m.Update(400_000)
+	}
+	if st != CongestionAvoidance {
+		t.Fatalf("state = %v, want congestion-avoidance", st)
+	}
+}
+
+func TestOverloadAboveMax(t *testing.T) {
+	m := New(cfg())
+	m.Update(100_000)
+	var st State
+	for i := 0; i < 10; i++ {
+		st = m.Update(5_000_000)
+	}
+	if st != Overloaded {
+		t.Fatalf("state = %v, want overloaded", st)
+	}
+	if m.Threshold() != float64(cfg().ThreshMax) {
+		t.Fatalf("threshold = %v, want pinned at max", m.Threshold())
+	}
+}
+
+func TestThresholdDecaysTowardEWMA(t *testing.T) {
+	m := New(cfg())
+	for i := 0; i < 40; i++ {
+		m.Update(300_000)
+	}
+	// After many steady samples the threshold should sit near the EWMA
+	// (bounded below by ThreshMin).
+	if m.Threshold() > 320_000 {
+		t.Fatalf("threshold = %v, did not decay toward 300us", m.Threshold())
+	}
+	if m.Threshold() < 300_000 {
+		t.Fatalf("threshold = %v, decayed below the EWMA", m.Threshold())
+	}
+}
+
+func TestThresholdFloorsAtMin(t *testing.T) {
+	m := New(cfg())
+	for i := 0; i < 60; i++ {
+		m.Update(50_000)
+	}
+	if m.Threshold() != float64(cfg().ThreshMin) {
+		t.Fatalf("threshold = %v, want floor %d", m.Threshold(), cfg().ThreshMin)
+	}
+}
+
+func TestLatencyRiseDetectedPromptly(t *testing.T) {
+	// The point of the dynamic threshold: after a calm period the
+	// threshold hugs the EWMA, so a jump is flagged within a few samples
+	// (a fixed 2ms threshold would take far longer for small IOs).
+	m := New(cfg())
+	for i := 0; i < 40; i++ {
+		m.Update(300_000)
+	}
+	samples := 0
+	for ; samples < 20; samples++ {
+		if m.Update(900_000) == Congested {
+			break
+		}
+	}
+	if samples > 3 {
+		t.Fatalf("congestion detected after %d samples, want <= 3", samples)
+	}
+
+	fixed := New(Config{ThreshMin: 250_000, ThreshMax: 2_000_000, AlphaD: 0.5, AlphaT: 0})
+	for i := 0; i < 40; i++ {
+		fixed.Update(300_000)
+	}
+	fixedSamples := 0
+	for ; fixedSamples < 50; fixedSamples++ {
+		if st := fixed.Update(900_000); st == Congested || st == Overloaded {
+			break
+		}
+	}
+	if fixedSamples <= samples {
+		t.Fatalf("fixed threshold (%d samples) should be slower than dynamic (%d)",
+			fixedSamples, samples)
+	}
+}
+
+func TestCongestionSignalBacksThresholdOff(t *testing.T) {
+	m := New(cfg())
+	for i := 0; i < 40; i++ {
+		m.Update(300_000)
+	}
+	before := m.Threshold()
+	m.Update(900_000) // ewma jumps to 600k > thresh → congested
+	after := m.Threshold()
+	want := (before + float64(cfg().ThreshMax)) / 2
+	if after != want {
+		t.Fatalf("threshold after signal = %v, want midpoint %v", after, want)
+	}
+}
+
+// Property: the threshold always stays within [ThreshMin, ThreshMax].
+func TestThresholdBoundsProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		m := New(cfg())
+		for _, s := range samples {
+			m.Update(int64(s))
+			if m.Threshold() < float64(cfg().ThreshMin)-1e-6 ||
+				m.Threshold() > float64(cfg().ThreshMax)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: state severity is monotone in the sample value for a fresh
+// monitor (single sample).
+func TestStateMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		m1, m2 := New(cfg()), New(cfg())
+		return m1.Update(lo) <= m2.Update(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

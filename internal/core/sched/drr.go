@@ -1,0 +1,283 @@
+// Package sched implements Gimbal's two-level hierarchical IO scheduler
+// (§3.5): a deficit-round-robin scheduler over tenants using cost-weighted
+// IO sizes, integrated with the virtual-slot mechanism (active/deferred
+// tenant lists, deficit freezing while deferred), and per-tenant weighted
+// priority queues cycled when filling a slot.
+package sched
+
+import (
+	"container/list"
+
+	"gimbal/internal/core/vslot"
+	"gimbal/internal/nvme"
+)
+
+// Config holds the scheduler parameters.
+type Config struct {
+	Quantum int64 // DRR quantum per round (128KB, the maximum IO size)
+	Slots   vslot.Config
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{Quantum: 128 << 10, Slots: vslot.DefaultConfig()}
+}
+
+// listKind identifies which list a tenant is on.
+type listKind int
+
+const (
+	idle listKind = iota
+	active
+	deferred
+)
+
+// tenant is the scheduler's per-tenant state.
+type tenant struct {
+	t      *nvme.Tenant
+	queues [nvme.NumPriorities][]*nvme.IO
+	queued int
+
+	// Weighted priority cycling within a slot.
+	prio       nvme.Priority
+	prioBudget int
+
+	deficit int64
+	slots   *vslot.Tenant
+
+	where listKind
+	elem  *list.Element // position in the active list
+}
+
+func (ts *tenant) empty() bool { return ts.queued == 0 }
+
+// head returns the next IO according to the weighted priority cycle,
+// advancing past exhausted classes. Returns nil when no IO is queued.
+func (ts *tenant) head() *nvme.IO {
+	if ts.queued == 0 {
+		return nil
+	}
+	for i := 0; i < int(nvme.NumPriorities); i++ {
+		if ts.prioBudget > 0 && len(ts.queues[ts.prio]) > 0 {
+			return ts.queues[ts.prio][0]
+		}
+		ts.prio = (ts.prio + 1) % nvme.NumPriorities
+		ts.prioBudget = ts.prio.Weight()
+	}
+	// Budget exhausted on an empty class but IOs exist elsewhere: retry.
+	for i := 0; i < int(nvme.NumPriorities); i++ {
+		if len(ts.queues[ts.prio]) > 0 {
+			return ts.queues[ts.prio][0]
+		}
+		ts.prio = (ts.prio + 1) % nvme.NumPriorities
+		ts.prioBudget = ts.prio.Weight()
+	}
+	return nil
+}
+
+// pop removes the IO previously returned by head.
+func (ts *tenant) pop(io *nvme.IO) {
+	q := ts.queues[io.Priority]
+	if len(q) == 0 || q[0] != io {
+		panic("sched: pop of non-head IO")
+	}
+	ts.queues[io.Priority] = q[1:]
+	ts.queued--
+	if io.Priority == ts.prio && ts.prioBudget > 0 {
+		ts.prioBudget--
+	}
+}
+
+// DRR is the hierarchical fair scheduler. It owns queueing and fairness
+// only; the switch couples it to the rate controller and the device.
+type DRR struct {
+	cfg      Config
+	weighted func(io *nvme.IO) int64 // cost-weighted size (from writecost)
+
+	tenants    map[*nvme.Tenant]*tenant
+	activeList *list.List // of *tenant
+	deferCount int
+	activeIO   int // tenants considered "contending" for slot distribution
+}
+
+// New returns a DRR scheduler. weighted computes the cost-weighted size of
+// an IO at dispatch time.
+func New(cfg Config, weighted func(io *nvme.IO) int64) *DRR {
+	return &DRR{
+		cfg:        cfg,
+		weighted:   weighted,
+		tenants:    make(map[*nvme.Tenant]*tenant),
+		activeList: list.New(),
+	}
+}
+
+// Register adds a tenant.
+func (d *DRR) Register(t *nvme.Tenant) {
+	if _, ok := d.tenants[t]; ok {
+		return
+	}
+	d.tenants[t] = &tenant{
+		t:          t,
+		slots:      vslot.NewTenant(d.cfg.Slots),
+		prioBudget: nvme.PriorityHigh.Weight(),
+	}
+}
+
+// Slots exposes a tenant's virtual-slot state (for credit computation).
+func (d *DRR) Slots(t *nvme.Tenant) *vslot.Tenant {
+	return d.tenants[t].slots
+}
+
+// Enqueue adds an IO to its tenant's priority queue, activating the tenant
+// if it was idle.
+func (d *DRR) Enqueue(io *nvme.IO) {
+	ts, ok := d.tenants[io.Tenant]
+	if !ok {
+		panic("sched: Enqueue for unregistered tenant " + io.Tenant.Name)
+	}
+	wasEmpty := ts.empty()
+	ts.queues[io.Priority] = append(ts.queues[io.Priority], io)
+	ts.queued++
+	if wasEmpty && ts.where == idle {
+		d.contend(ts)
+		if ts.slots.Reopen() {
+			d.activate(ts)
+		} else {
+			d.defer_(ts)
+		}
+	}
+}
+
+// contend marks the tenant as competing for the device and rebalances slot
+// allotments so that every contender holds an equal share (§3.5).
+func (d *DRR) contend(ts *tenant) {
+	d.activeIO++
+	d.redistribute()
+	_ = ts
+}
+
+// release is the inverse of contend.
+func (d *DRR) release(ts *tenant) {
+	d.activeIO--
+	d.redistribute()
+	_ = ts
+}
+
+func (d *DRR) redistribute() {
+	n := d.activeIO
+	if n < 1 {
+		n = 1
+	}
+	per := d.cfg.Slots.MaxSlots / n
+	if per < 1 {
+		per = 1
+	}
+	for _, ts := range d.tenants {
+		ts.slots.SetAllot(per)
+	}
+}
+
+func (d *DRR) activate(ts *tenant) {
+	ts.where = active
+	ts.elem = d.activeList.PushBack(ts)
+}
+
+func (d *DRR) defer_(ts *tenant) {
+	if ts.where == active && ts.elem != nil {
+		d.activeList.Remove(ts.elem)
+		ts.elem = nil
+	}
+	ts.where = deferred
+	ts.deficit = 0 // frozen at zero while deferred (§3.5)
+	d.deferCount++
+}
+
+func (d *DRR) idle_(ts *tenant) {
+	if ts.where == active && ts.elem != nil {
+		d.activeList.Remove(ts.elem)
+		ts.elem = nil
+	}
+	if ts.where == deferred {
+		d.deferCount--
+	}
+	ts.where = idle
+	ts.deficit = 0
+	d.release(ts)
+}
+
+// Select runs DRR rounds until the head tenant has accumulated enough
+// deficit for its next IO, returning that IO without dequeuing it. It
+// returns nil when no active tenant has queued work. Select is idempotent
+// once a dispatchable IO is found: calling it again without Commit returns
+// the same IO with no extra deficit.
+func (d *DRR) Select() *nvme.IO {
+	for d.activeList.Len() > 0 {
+		ts := d.activeList.Front().Value.(*tenant)
+		io := ts.head()
+		if io == nil {
+			// No queued work: leave the lists entirely.
+			d.idle_(ts)
+			continue
+		}
+		w := d.weighted(io)
+		if ts.deficit >= w {
+			return io
+		}
+		// Grant a quantum and move to the back (classic DRR round).
+		ts.deficit += d.cfg.Quantum * int64(ts.t.Weight)
+		d.activeList.MoveToBack(ts.elem)
+	}
+	return nil
+}
+
+// Commit dequeues the IO returned by Select, charges its weighted size to
+// the tenant's deficit, and places it in the tenant's current virtual slot.
+// If the slot closes with no replacement available, the tenant moves to the
+// deferred list. The IO's slot is recorded in io.Sched for Complete.
+func (d *DRR) Commit(io *nvme.IO) {
+	ts := d.tenants[io.Tenant]
+	w := d.weighted(io)
+	ts.pop(io)
+	ts.deficit -= w
+	io.Sched = ts.slots.Submit(w)
+	if !ts.slots.HasOpenSlot() {
+		d.defer_(ts)
+	} else if ts.empty() {
+		d.idle_(ts)
+	}
+}
+
+// Complete records an IO completion against its virtual slot (Algorithm 2
+// Sched_Complete). A deferred tenant whose slot freed rejoins the end of
+// the active list. It returns the tenant's refreshed credit.
+func (d *DRR) Complete(io *nvme.IO) (credit uint32) {
+	ts := d.tenants[io.Tenant]
+	slot := io.Sched.(*vslot.Slot)
+	freed, _ := ts.slots.Complete(slot)
+	if freed && ts.where == deferred {
+		if ts.slots.HasOpenSlot() {
+			d.deferCount--
+			d.activate(ts)
+		}
+		if ts.empty() {
+			// Nothing left to schedule: drop out entirely.
+			d.idle_(ts)
+		}
+	}
+	return ts.slots.Credit()
+}
+
+// ActiveTenants returns the number of tenants on the active list.
+func (d *DRR) ActiveTenants() int { return d.activeList.Len() }
+
+// DeferredTenants returns the number of deferred tenants.
+func (d *DRR) DeferredTenants() int { return d.deferCount }
+
+// Queued returns the total queued IO count (for tests and stats).
+func (d *DRR) Queued() int {
+	n := 0
+	for _, ts := range d.tenants {
+		n += ts.queued
+	}
+	return n
+}

@@ -1,0 +1,303 @@
+package sched
+
+import (
+	"testing"
+
+	"gimbal/internal/nvme"
+)
+
+func plainWeight(io *nvme.IO) int64 { return int64(io.Size) }
+
+func mkIO(t *nvme.Tenant, size int, prio nvme.Priority) *nvme.IO {
+	return &nvme.IO{Op: nvme.OpRead, Size: size, Priority: prio, Tenant: t}
+}
+
+func newDRR(weight func(*nvme.IO) int64, tenants ...*nvme.Tenant) *DRR {
+	d := New(DefaultConfig(), weight)
+	for _, t := range tenants {
+		d.Register(t)
+	}
+	return d
+}
+
+func TestSelectEmptyReturnsNil(t *testing.T) {
+	d := newDRR(plainWeight, nvme.NewTenant(0, "a"))
+	if d.Select() != nil {
+		t.Fatal("Select on empty scheduler should return nil")
+	}
+}
+
+func TestSingleTenantFIFO(t *testing.T) {
+	ta := nvme.NewTenant(0, "a")
+	d := newDRR(plainWeight, ta)
+	ios := []*nvme.IO{mkIO(ta, 4096, nvme.PriorityNormal), mkIO(ta, 4096, nvme.PriorityNormal)}
+	for _, io := range ios {
+		d.Enqueue(io)
+	}
+	for i, want := range ios {
+		got := d.Select()
+		if got != want {
+			t.Fatalf("dispatch %d: wrong IO", i)
+		}
+		d.Commit(got)
+	}
+	if d.Select() != nil {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestSelectIdempotentWithoutCommit(t *testing.T) {
+	ta := nvme.NewTenant(0, "a")
+	d := newDRR(plainWeight, ta)
+	io := mkIO(ta, 4096, nvme.PriorityNormal)
+	d.Enqueue(io)
+	a, b := d.Select(), d.Select()
+	if a != io || b != io {
+		t.Fatal("Select should repeatedly return the same IO before Commit")
+	}
+}
+
+func TestDRRInterleavesEqualStreams(t *testing.T) {
+	ta, tb := nvme.NewTenant(0, "a"), nvme.NewTenant(1, "b")
+	d := newDRR(plainWeight, ta, tb)
+	for i := 0; i < 8; i++ {
+		d.Enqueue(mkIO(ta, 128<<10, nvme.PriorityNormal))
+		d.Enqueue(mkIO(tb, 128<<10, nvme.PriorityNormal))
+	}
+	var order []int
+	for {
+		io := d.Select()
+		if io == nil {
+			break
+		}
+		d.Commit(io)
+		order = append(order, io.Tenant.ID)
+		// Complete immediately so slots never run out in this test.
+		d.Complete(io)
+	}
+	if len(order) != 16 {
+		t.Fatalf("dispatched %d, want 16", len(order))
+	}
+	// With equal quanta and equal sizes, no tenant gets two dispatches
+	// ahead: counts after every prefix differ by at most 1.
+	ca, cb := 0, 0
+	for _, id := range order {
+		if id == 0 {
+			ca++
+		} else {
+			cb++
+		}
+		if diff := ca - cb; diff < -1 || diff > 1 {
+			t.Fatalf("unfair interleaving at prefix: %v", order)
+		}
+	}
+}
+
+func TestDRRBytesFairWithMixedSizes(t *testing.T) {
+	// Tenant a sends 4KB IOs, tenant b 128KB. DRR should give them equal
+	// bytes, i.e. 32 a-dispatches per b-dispatch.
+	ta, tb := nvme.NewTenant(0, "a"), nvme.NewTenant(1, "b")
+	d := newDRR(plainWeight, ta, tb)
+	for i := 0; i < 320; i++ {
+		d.Enqueue(mkIO(ta, 4096, nvme.PriorityNormal))
+	}
+	for i := 0; i < 10; i++ {
+		d.Enqueue(mkIO(tb, 128<<10, nvme.PriorityNormal))
+	}
+	bytes := map[int]int{}
+	for n := 0; n < 200; n++ {
+		io := d.Select()
+		if io == nil {
+			break
+		}
+		d.Commit(io)
+		bytes[io.Tenant.ID] += io.Size
+		d.Complete(io)
+	}
+	ra, rb := float64(bytes[0]), float64(bytes[1])
+	if ra == 0 || rb == 0 {
+		t.Fatalf("a tenant starved: %v", bytes)
+	}
+	if ratio := ra / rb; ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("byte split a/b = %.2f, want ~1.0 (a=%v b=%v)", ratio, ra, rb)
+	}
+}
+
+func TestWeightedWritesThrottled(t *testing.T) {
+	// weighted = 4x for writes: writer should receive ~1/4 of the bytes.
+	weight := func(io *nvme.IO) int64 {
+		if io.Op.IsWrite() {
+			return 4 * int64(io.Size)
+		}
+		return int64(io.Size)
+	}
+	ta, tb := nvme.NewTenant(0, "reader"), nvme.NewTenant(1, "writer")
+	d := newDRR(weight, ta, tb)
+	for i := 0; i < 100; i++ {
+		d.Enqueue(mkIO(ta, 128<<10, nvme.PriorityNormal))
+		io := mkIO(tb, 128<<10, nvme.PriorityNormal)
+		io.Op = nvme.OpWrite
+		d.Enqueue(io)
+	}
+	bytes := map[int]int{}
+	for n := 0; n < 50; n++ {
+		io := d.Select()
+		if io == nil {
+			break
+		}
+		d.Commit(io)
+		bytes[io.Tenant.ID] += io.Size
+		d.Complete(io)
+	}
+	if bytes[1] == 0 {
+		t.Fatal("writer fully starved")
+	}
+	ratio := float64(bytes[0]) / float64(bytes[1])
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("read/write byte ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestSlotExhaustionDefersAndResumes(t *testing.T) {
+	ta := nvme.NewTenant(0, "a")
+	d := newDRR(plainWeight, ta)
+	// 8 slots x 128KB: the 9th 128KB IO must defer.
+	var committed []*nvme.IO
+	for i := 0; i < 12; i++ {
+		d.Enqueue(mkIO(ta, 128<<10, nvme.PriorityNormal))
+	}
+	for {
+		io := d.Select()
+		if io == nil {
+			break
+		}
+		d.Commit(io)
+		committed = append(committed, io)
+	}
+	if len(committed) != 8 {
+		t.Fatalf("dispatched %d before deferral, want 8 (slot allotment)", len(committed))
+	}
+	if d.DeferredTenants() != 1 {
+		t.Fatalf("deferred = %d, want 1", d.DeferredTenants())
+	}
+	// Completing one slot resumes the tenant for exactly one more IO.
+	d.Complete(committed[0])
+	io := d.Select()
+	if io == nil {
+		t.Fatal("tenant did not resume after slot completion")
+	}
+	d.Commit(io)
+	if next := d.Select(); next != nil {
+		t.Fatal("only one slot freed; second dispatch should defer")
+	}
+}
+
+func TestDeficitResetOnDefer(t *testing.T) {
+	ta := nvme.NewTenant(0, "a")
+	d := newDRR(plainWeight, ta)
+	for i := 0; i < 9; i++ {
+		d.Enqueue(mkIO(ta, 128<<10, nvme.PriorityNormal))
+	}
+	var last *nvme.IO
+	for {
+		io := d.Select()
+		if io == nil {
+			break
+		}
+		d.Commit(io)
+		last = io
+	}
+	ts := d.tenants[ta]
+	if ts.where != deferred {
+		t.Fatal("tenant should be deferred")
+	}
+	if ts.deficit != 0 {
+		t.Fatalf("deficit = %d while deferred, want 0 (§3.5)", ts.deficit)
+	}
+	_ = last
+}
+
+func TestPriorityQueuesWeightedCycle(t *testing.T) {
+	ta := nvme.NewTenant(0, "a")
+	d := newDRR(plainWeight, ta)
+	// Enqueue plenty of both high and low priority IOs.
+	for i := 0; i < 40; i++ {
+		d.Enqueue(mkIO(ta, 4096, nvme.PriorityHigh))
+		d.Enqueue(mkIO(ta, 4096, nvme.PriorityLow))
+	}
+	counts := map[nvme.Priority]int{}
+	for n := 0; n < 30; n++ {
+		io := d.Select()
+		if io == nil {
+			break
+		}
+		d.Commit(io)
+		counts[io.Priority]++
+		d.Complete(io)
+	}
+	if counts[nvme.PriorityHigh] <= counts[nvme.PriorityLow] {
+		t.Fatalf("high prio not favored: %v", counts)
+	}
+	if counts[nvme.PriorityLow] == 0 {
+		t.Fatalf("low prio starved: %v", counts)
+	}
+	// Weighted 4:1 cycling.
+	ratio := float64(counts[nvme.PriorityHigh]) / float64(counts[nvme.PriorityLow])
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("high/low ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestSlotRedistributionAcrossTenants(t *testing.T) {
+	ta, tb := nvme.NewTenant(0, "a"), nvme.NewTenant(1, "b")
+	d := newDRR(plainWeight, ta, tb)
+	d.Enqueue(mkIO(ta, 4096, nvme.PriorityNormal))
+	d.Enqueue(mkIO(tb, 4096, nvme.PriorityNormal))
+	// Two contenders: 8 slots split 4/4.
+	if a := d.Slots(ta).Allot(); a != 4 {
+		t.Fatalf("tenant a allot = %d, want 4", a)
+	}
+	if b := d.Slots(tb).Allot(); b != 4 {
+		t.Fatalf("tenant b allot = %d, want 4", b)
+	}
+}
+
+func TestManyTenantsGetAtLeastOneSlot(t *testing.T) {
+	d := New(DefaultConfig(), plainWeight)
+	tenants := make([]*nvme.Tenant, 20)
+	for i := range tenants {
+		tenants[i] = nvme.NewTenant(i, "t")
+		d.Register(tenants[i])
+		d.Enqueue(mkIO(tenants[i], 4096, nvme.PriorityNormal))
+	}
+	for _, tn := range tenants {
+		if a := d.Slots(tn).Allot(); a != 1 {
+			t.Fatalf("allot = %d, want floor 1", a)
+		}
+	}
+}
+
+func TestCreditFlowsFromComplete(t *testing.T) {
+	ta := nvme.NewTenant(0, "a")
+	d := newDRR(plainWeight, ta)
+	for i := 0; i < 32; i++ {
+		d.Enqueue(mkIO(ta, 4096, nvme.PriorityNormal))
+	}
+	var ios []*nvme.IO
+	for {
+		io := d.Select()
+		if io == nil {
+			break
+		}
+		d.Commit(io)
+		ios = append(ios, io)
+	}
+	var credit uint32
+	for _, io := range ios {
+		credit = d.Complete(io)
+	}
+	// One full 32-IO slot completed with allotment 8 → credit 256.
+	if credit != 256 {
+		t.Fatalf("credit = %d, want 256", credit)
+	}
+}

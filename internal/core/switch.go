@@ -1,0 +1,236 @@
+// Package core implements the Gimbal storage switch (§3): the per-SSD
+// pipeline that couples the hierarchical DRR scheduler with virtual slots
+// (ingress), the delay-based congestion controller with its dual-token-
+// bucket rate pacer (egress), the dynamic write-cost estimator, and the
+// credit computation for the end-to-end flow control. One Switch instance
+// owns one SSD and runs shared-nothing (§4.1).
+package core
+
+import (
+	"gimbal/internal/core/latmon"
+	"gimbal/internal/core/ratectl"
+	"gimbal/internal/core/sched"
+	"gimbal/internal/core/writecost"
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// Config aggregates the §4.2 parameters of all switch components.
+type Config struct {
+	Latency latmon.Config
+	Rate    ratectl.Config
+	Cost    writecost.Config
+	Sched   sched.Config
+
+	// CostPeriod is how often the write cost is recalibrated (§3.4
+	// "periodically").
+	CostPeriod int64
+
+	// DisableCongestionControl bypasses the token buckets (ablation).
+	DisableCongestionControl bool
+	// DisableDynamicCost pins the write cost at worst case (ablation).
+	DisableDynamicCost bool
+}
+
+// DefaultConfig returns the paper's DCT983 configuration.
+func DefaultConfig() Config {
+	return Config{
+		Latency:    latmon.DefaultConfig(),
+		Rate:       ratectl.DefaultConfig(),
+		Cost:       writecost.DefaultConfig(),
+		Sched:      sched.DefaultConfig(),
+		CostPeriod: 10 * sim.Millisecond,
+	}
+}
+
+// View is the per-SSD virtual view exposed to tenants (§3.7): the measured
+// bandwidth headroom split by IO class plus the load signal.
+type View struct {
+	TargetRateBps     float64
+	CompletionRateBps float64
+	WriteCost         float64
+	ReadShareBps      float64
+	WriteShareBps     float64
+	ReadEWMAUs        float64
+	WriteEWMAUs       float64
+}
+
+// Switch is the Gimbal storage switch for one SSD. It implements
+// nvme.Scheduler.
+type Switch struct {
+	cfg   Config
+	clk   sim.Scheduler
+	sub   *nvme.Submitter
+	drr   *sched.DRR
+	rmon  *latmon.Monitor
+	wmon  *latmon.Monitor
+	rate  *ratectl.Engine
+	cost  *writecost.Estimator
+	timer *sim.Event
+
+	writesInPeriod int
+	pumping        bool
+
+	// Counters for the overhead accounting (Table 1).
+	Submits     int64
+	Completions int64
+}
+
+// New builds a switch over the device.
+func New(clk sim.Scheduler, dev ssd.Device, cfg Config) *Switch {
+	sw := &Switch{
+		cfg:  cfg,
+		clk:  clk,
+		sub:  nvme.NewSubmitter(clk, dev),
+		rmon: latmon.New(cfg.Latency),
+		wmon: latmon.New(cfg.Latency),
+		rate: ratectl.New(cfg.Rate, clk.Now()),
+		cost: writecost.New(cfg.Cost),
+	}
+	sw.drr = sched.New(cfg.Sched, sw.weighted)
+	clk.After(cfg.CostPeriod, sw.costTick).MarkDaemon()
+	return sw
+}
+
+// Name implements nvme.Scheduler.
+func (sw *Switch) Name() string { return "gimbal" }
+
+// Register implements nvme.Scheduler.
+func (sw *Switch) Register(t *nvme.Tenant) { sw.drr.Register(t) }
+
+// weighted returns the cost-weighted size used by the DRR and the slots
+// (§3.5): write cost × size for writes, size for reads, zero for barriers.
+func (sw *Switch) weighted(io *nvme.IO) int64 {
+	switch io.Op {
+	case nvme.OpWrite:
+		return sw.cost.WeightedSize(true, io.Size)
+	case nvme.OpRead:
+		return int64(io.Size)
+	default:
+		return 0
+	}
+}
+
+// Enqueue implements nvme.Scheduler: admit the IO to its tenant's priority
+// queue and run the submission pump.
+func (sw *Switch) Enqueue(io *nvme.IO) {
+	if st := sw.sub.Check(io); st != nvme.StatusOK {
+		io.Done(io, nvme.Completion{Status: st})
+		return
+	}
+	io.Arrival = sw.clk.Now()
+	sw.drr.Enqueue(io)
+	sw.pump()
+}
+
+// pump drains the scheduler while tokens and slots allow (Algorithm 1
+// Submission; it is invoked on every request arrival and completion, so
+// the system is self-clocked).
+func (sw *Switch) pump() {
+	if sw.pumping {
+		return // no re-entrant pumping from nested completions
+	}
+	sw.pumping = true
+	defer func() { sw.pumping = false }()
+
+	if sw.timer != nil {
+		sw.timer.Cancel()
+		sw.timer = nil
+	}
+	now := sw.clk.Now()
+	for {
+		sw.rate.Refill(now, sw.cost.Cost())
+		io := sw.drr.Select()
+		if io == nil {
+			return
+		}
+		isWrite := io.Op.IsWrite()
+		if !sw.cfg.DisableCongestionControl && !sw.rate.TryConsume(isWrite, io.Size) {
+			// Token-limited: arm a timer for when the refill covers the
+			// deficit, instead of busy-polling.
+			need := sw.rate.Deficit(isWrite, io.Size)
+			wait := sw.rate.NanosUntil(need, isWrite, sw.cost.Cost())
+			if wait < sim.Microsecond {
+				wait = sim.Microsecond
+			}
+			sw.timer = sw.clk.After(wait, sw.pump)
+			return
+		}
+		sw.drr.Commit(io)
+		sw.Submits++
+		sw.sub.Submit(io, sw.onDeviceDone)
+	}
+}
+
+// onDeviceDone is the egress path: update the latency monitor, derive the
+// congestion state, adjust the rate, refresh the tenant credit, and send
+// the completion (Algorithm 1 Completion).
+func (sw *Switch) onDeviceDone(io *nvme.IO) {
+	sw.Completions++
+	lat := io.DeviceLatency()
+	mon := sw.rmon
+	if io.Op.IsWrite() {
+		mon = sw.wmon
+		sw.writesInPeriod++
+	}
+	state := mon.Update(lat)
+	if !sw.cfg.DisableCongestionControl {
+		sw.rate.OnCompletion(sw.clk.Now(), io.Size, state)
+	}
+	credit := sw.drr.Complete(io)
+	io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io), Credit: credit})
+	sw.pump()
+}
+
+// costTick recalibrates the write cost once per period (§3.4): the cost
+// decreases only when writes completed during the period and their EWMA
+// latency sat below the minimum threshold (served from the SSD write
+// buffer); it increases toward worst case whenever write latency is
+// elevated.
+func (sw *Switch) costTick() {
+	defer func() {
+		sw.clk.After(sw.cfg.CostPeriod, sw.costTick).MarkDaemon()
+	}()
+	if sw.cfg.DisableDynamicCost {
+		return
+	}
+	if sw.writesInPeriod == 0 || !sw.wmon.Initialized() {
+		return
+	}
+	sw.writesInPeriod = 0
+	calm := sw.wmon.EWMA() < float64(sw.cfg.Latency.ThreshMin)
+	sw.cost.Update(calm)
+	// A cost change shifts the DRR weighting, which may unblock work.
+	sw.pump()
+}
+
+// View implements the per-SSD virtual view (§3.7).
+func (sw *Switch) View() View {
+	c := sw.cost.Cost()
+	tr := sw.rate.TargetRate()
+	return View{
+		TargetRateBps:     tr,
+		CompletionRateBps: sw.rate.CompletionRate(),
+		WriteCost:         c,
+		ReadShareBps:      tr * c / (1 + c),
+		WriteShareBps:     tr * 1 / (1 + c),
+		ReadEWMAUs:        sw.rmon.EWMA() / 1e3,
+		WriteEWMAUs:       sw.wmon.EWMA() / 1e3,
+	}
+}
+
+// Credit returns the current credit of a tenant (target-side view).
+func (sw *Switch) Credit(t *nvme.Tenant) uint32 { return sw.drr.Slots(t).Credit() }
+
+// Monitors exposes the read and write latency monitors (Fig 17/18 traces).
+func (sw *Switch) Monitors() (read, write *latmon.Monitor) { return sw.rmon, sw.wmon }
+
+// Rate exposes the rate engine (for harness instrumentation).
+func (sw *Switch) Rate() *ratectl.Engine { return sw.rate }
+
+// WriteCost returns the current write-cost estimate.
+func (sw *Switch) WriteCost() float64 { return sw.cost.Cost() }
+
+// DRR exposes the scheduler for diagnostics.
+func (sw *Switch) DRR() *sched.DRR { return sw.drr }

@@ -1,0 +1,134 @@
+// Package vslot implements Gimbal's virtual slots (§3.5, Algorithm 2): the
+// normalized IO unit of the fair scheduler. A slot groups submitted IOs up
+// to 128KB of cost-weighted size (1 × 128KB, 32 × 4KB, ...) and completes
+// only when all of them complete, bounding every tenant to the same number
+// of in-flight slots regardless of IO size or type. This equalizes SSD
+// internal queue occupancy — the resource the device actually arbitrates —
+// and prevents deceptive idleness, because an allotted slot can never be
+// stolen by another stream.
+package vslot
+
+// Config holds the §4.2 slot parameters.
+type Config struct {
+	SlotBytes    int64 // weighted capacity of one slot (128KB)
+	MaxSlots     int   // per-tenant slots when running alone (8)
+	InitialCount int   // assumed per-slot IO count before any slot completes
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{SlotBytes: 128 << 10, MaxSlots: 8, InitialCount: 4}
+}
+
+// Slot is one virtual slot.
+type Slot struct {
+	size        int64 // accumulated weighted bytes
+	submits     int
+	completions int
+	full        bool
+}
+
+// Submits returns the number of IOs placed in the slot.
+func (s *Slot) Submits() int { return s.submits }
+
+// Full reports whether the slot has been closed to new IOs.
+func (s *Slot) Full() bool { return s.full }
+
+// Tenant tracks one tenant's slot state.
+type Tenant struct {
+	cfg   Config
+	allot int // current allotment (set by the scheduler's redistribution)
+	inUse int // open + draining slots
+	cur   *Slot
+
+	// lastCount is the IO count of the latest completed slot, the basis of
+	// the credit computation (§3.6).
+	lastCount int
+}
+
+// NewTenant returns slot state with the full allotment and one open slot.
+func NewTenant(cfg Config) *Tenant {
+	t := &Tenant{cfg: cfg, allot: cfg.MaxSlots, lastCount: cfg.InitialCount}
+	t.cur = &Slot{}
+	t.inUse = 1
+	return t
+}
+
+// SetAllot updates the tenant's slot allotment (at least 1: every tenant
+// must be able to perform IO, §3.5). Slots already in use beyond a reduced
+// allotment drain naturally.
+func (t *Tenant) SetAllot(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.allot = n
+}
+
+// Allot returns the current allotment.
+func (t *Tenant) Allot() int { return t.allot }
+
+// InUse returns open plus draining slots.
+func (t *Tenant) InUse() int { return t.inUse }
+
+// HasOpenSlot reports whether the tenant can accept another IO right now.
+func (t *Tenant) HasOpenSlot() bool { return t.cur != nil }
+
+// Submit places an IO of the given weighted size into the current slot
+// (Algorithm 2 Sched_Submit) and returns the slot. When the slot reaches
+// capacity it closes; a fresh slot opens if the allotment permits,
+// otherwise the tenant must defer (HasOpenSlot turns false). Callers must
+// check HasOpenSlot before submitting.
+func (t *Tenant) Submit(weighted int64) *Slot {
+	if t.cur == nil {
+		panic("vslot: Submit without an open slot")
+	}
+	s := t.cur
+	s.submits++
+	s.size += weighted
+	if s.size >= t.cfg.SlotBytes {
+		s.full = true
+		t.cur = nil
+		t.tryOpen()
+	}
+	return s
+}
+
+// Complete records one IO completion in its slot (Algorithm 2
+// Sched_Complete). It returns freed=true when this completion reset a full
+// slot (making room for a deferred tenant to resume) and the slot's IO
+// count for credit accounting.
+func (t *Tenant) Complete(s *Slot) (freed bool, count int) {
+	s.completions++
+	if s.full && s.submits == s.completions {
+		t.lastCount = s.submits
+		t.inUse--
+		t.tryOpen()
+		return true, s.submits
+	}
+	return false, 0
+}
+
+// tryOpen opens a new slot when under the allotment and none is open.
+func (t *Tenant) tryOpen() {
+	if t.cur == nil && t.inUse < t.allot {
+		t.cur = &Slot{}
+		t.inUse++
+	}
+}
+
+// Reopen attempts to open a slot for a deferred tenant (after an allotment
+// increase or slot drain) and reports whether the tenant now has one.
+func (t *Tenant) Reopen() bool {
+	t.tryOpen()
+	return t.cur != nil
+}
+
+// Credit returns the tenant's total credit (§3.6): allotted slots times the
+// IO count of the latest completed slot.
+func (t *Tenant) Credit() uint32 {
+	c := t.allot * t.lastCount
+	if c < 1 {
+		c = 1
+	}
+	return uint32(c)
+}

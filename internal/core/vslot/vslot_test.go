@@ -1,0 +1,171 @@
+package vslot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlotFillsAndCloses(t *testing.T) {
+	tn := NewTenant(DefaultConfig())
+	// 32 x 4KB fills exactly one 128KB slot.
+	var s *Slot
+	for i := 0; i < 32; i++ {
+		if !tn.HasOpenSlot() {
+			t.Fatalf("slot closed early at IO %d", i)
+		}
+		s = tn.Submit(4096)
+	}
+	if !s.Full() {
+		t.Fatal("slot should be full after 32 x 4KB")
+	}
+	if s.Submits() != 32 {
+		t.Fatalf("submits = %d", s.Submits())
+	}
+	// A new slot opened automatically (allotment 8).
+	if !tn.HasOpenSlot() {
+		t.Fatal("new slot should have opened")
+	}
+	if tn.InUse() != 2 {
+		t.Fatalf("inUse = %d, want 2 (draining + open)", tn.InUse())
+	}
+}
+
+func TestSingleLargeIOFillsSlot(t *testing.T) {
+	tn := NewTenant(DefaultConfig())
+	s := tn.Submit(128 << 10)
+	if !s.Full() {
+		t.Fatal("128KB IO should fill the slot")
+	}
+	if s.Submits() != 1 {
+		t.Fatalf("submits = %d", s.Submits())
+	}
+}
+
+func TestWeightedWriteFillsFaster(t *testing.T) {
+	tn := NewTenant(DefaultConfig())
+	// A 128KB write at cost 3 (384KB weighted) occupies one slot alone.
+	s := tn.Submit(3 * (128 << 10))
+	if !s.Full() {
+		t.Fatal("cost-weighted write should fill the slot")
+	}
+}
+
+func TestAllotmentExhaustionDefers(t *testing.T) {
+	cfg := DefaultConfig()
+	tn := NewTenant(cfg)
+	tn.SetAllot(2)
+	s1 := tn.Submit(128 << 10) // fills slot 1, opens slot 2
+	s2 := tn.Submit(128 << 10) // fills slot 2, allotment exhausted
+	if tn.HasOpenSlot() {
+		t.Fatal("tenant should be out of slots")
+	}
+	if tn.InUse() != 2 {
+		t.Fatalf("inUse = %d", tn.InUse())
+	}
+	// Completing slot 1 frees it and reopens.
+	freed, count := tn.Complete(s1)
+	if !freed || count != 1 {
+		t.Fatalf("freed=%v count=%d", freed, count)
+	}
+	if !tn.HasOpenSlot() {
+		t.Fatal("slot should reopen after completion")
+	}
+	_ = s2
+}
+
+func TestPartialSlotDoesNotReset(t *testing.T) {
+	tn := NewTenant(DefaultConfig())
+	s := tn.Submit(4096)
+	freed, _ := tn.Complete(s)
+	if freed {
+		t.Fatal("non-full slot must not reset on completion")
+	}
+	if !tn.HasOpenSlot() || tn.cur != s {
+		t.Fatal("partial slot should remain the open slot")
+	}
+}
+
+func TestCreditTracksLastCompletedSlot(t *testing.T) {
+	cfg := DefaultConfig()
+	tn := NewTenant(cfg)
+	if got := tn.Credit(); got != uint32(cfg.MaxSlots*cfg.InitialCount) {
+		t.Fatalf("initial credit = %d", got)
+	}
+	var s *Slot
+	for i := 0; i < 32; i++ {
+		s = tn.Submit(4096)
+	}
+	for i := 0; i < 32; i++ {
+		tn.Complete(s)
+	}
+	if got := tn.Credit(); got != uint32(8*32) {
+		t.Fatalf("credit = %d, want 256 (8 slots x 32 IOs)", got)
+	}
+	// Larger IOs shrink the per-slot count and thus the credit.
+	s = tn.Submit(128 << 10)
+	tn.Complete(s)
+	if got := tn.Credit(); got != 8 {
+		t.Fatalf("credit = %d, want 8 after a 1-IO slot", got)
+	}
+}
+
+func TestSetAllotShrinkDrains(t *testing.T) {
+	tn := NewTenant(DefaultConfig())
+	slots := make([]*Slot, 0)
+	for i := 0; i < 4; i++ {
+		slots = append(slots, tn.Submit(128<<10))
+	}
+	tn.SetAllot(2) // below the 5 in use (4 draining + 1 open)
+	if tn.InUse() != 5 {
+		t.Fatalf("inUse = %d", tn.InUse())
+	}
+	// Draining below the new allotment must not open extra slots.
+	for _, s := range slots {
+		tn.Complete(s)
+	}
+	if tn.InUse() > 2 {
+		t.Fatalf("inUse = %d after drain, want <= 2", tn.InUse())
+	}
+	if tn.Allot() != 2 {
+		t.Fatalf("allot = %d", tn.Allot())
+	}
+}
+
+func TestSetAllotFloorsAtOne(t *testing.T) {
+	tn := NewTenant(DefaultConfig())
+	tn.SetAllot(0)
+	if tn.Allot() != 1 {
+		t.Fatalf("allot = %d, want floor 1", tn.Allot())
+	}
+}
+
+// Property: inUse never exceeds max(allotment history) + 1 and never goes
+// negative; submits/completions stay balanced.
+func TestSlotAccountingProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tn := NewTenant(DefaultConfig())
+		tn.SetAllot(3)
+		open := []*Slot{}
+		for _, op := range ops {
+			if op%2 == 0 && tn.HasOpenSlot() {
+				s := tn.Submit(int64(op%5+1) * 32 << 10)
+				open = append(open, s)
+			} else if len(open) > 0 {
+				s := open[0]
+				if s.completions < s.submits {
+					tn.Complete(s)
+				}
+				if s.completions >= s.submits {
+					open = open[1:]
+				}
+			}
+			if tn.InUse() < 0 || tn.InUse() > 8+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

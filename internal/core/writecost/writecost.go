@@ -1,0 +1,66 @@
+// Package writecost implements Gimbal's dynamic SSD write-cost estimator
+// (§3.4): the ratio between achieved read and write bandwidth, calibrated
+// online in an ADMI (additive-decrease, multiplicative-increase) manner.
+// When writes are absorbed by the SSD's DRAM buffer their latency is low
+// and the cost decays toward 1 (writes as cheap as reads); as soon as the
+// write rate exceeds the buffer's draining capability, latency rises and
+// the cost snaps halfway to the pre-calibrated worst case.
+package writecost
+
+// Config holds the §4.2 parameters.
+type Config struct {
+	Worst float64 // write_cost_worst: datasheet read/write IOPS ratio (9)
+	Delta float64 // additive decrement per calm period (0.5)
+}
+
+// DefaultConfig returns the paper's DCT983 settings.
+func DefaultConfig() Config { return Config{Worst: 9, Delta: 0.5} }
+
+// Estimator tracks the current write cost. Update is driven periodically
+// by the switch using the write latency monitor.
+type Estimator struct {
+	cfg  Config
+	cost float64
+}
+
+// New returns an estimator starting at the worst case — the safe baseline
+// until observed latencies justify lowering it.
+func New(cfg Config) *Estimator {
+	if cfg.Worst < 1 {
+		cfg.Worst = 1
+	}
+	return &Estimator{cfg: cfg, cost: cfg.Worst}
+}
+
+// Update adjusts the cost given whether the write EWMA latency is below the
+// minimum latency threshold (calm) and returns the new cost. Calm periods
+// decrease the cost by delta down to 1; any elevated latency jumps it to
+// the midpoint of the current value and the worst case, converging to the
+// worst case within a few periods of sustained pressure.
+func (e *Estimator) Update(calm bool) float64 {
+	if calm {
+		e.cost -= e.cfg.Delta
+		if e.cost < 1 {
+			e.cost = 1
+		}
+	} else {
+		e.cost = (e.cost + e.cfg.Worst) / 2
+	}
+	return e.cost
+}
+
+// Cost returns the current write cost (≥ 1).
+func (e *Estimator) Cost() float64 { return e.cost }
+
+// Worst returns the configured worst case.
+func (e *Estimator) Worst() float64 { return e.cfg.Worst }
+
+// WeightedSize returns the cost-weighted size of an IO as used by the
+// virtual-slot scheduler (§3.5): writes are charged cost × size, reads
+// their actual size.
+func (e *Estimator) WeightedSize(isWrite bool, size int) int64 {
+	if !isWrite {
+		return int64(size)
+	}
+	return int64(e.cost * float64(size))
+}

@@ -1,0 +1,91 @@
+package writecost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStartsAtWorst(t *testing.T) {
+	e := New(DefaultConfig())
+	if e.Cost() != 9 {
+		t.Fatalf("initial cost = %v, want worst 9", e.Cost())
+	}
+}
+
+func TestCalmDecaysToOne(t *testing.T) {
+	e := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		e.Update(true)
+	}
+	if e.Cost() != 1 {
+		t.Fatalf("cost after sustained calm = %v, want 1", e.Cost())
+	}
+	// 9 → 1 at delta 0.5 takes 16 periods.
+	e2 := New(DefaultConfig())
+	periods := 0
+	for e2.Cost() > 1 {
+		e2.Update(true)
+		periods++
+	}
+	if periods != 16 {
+		t.Fatalf("decay to 1 took %d periods, want 16", periods)
+	}
+}
+
+func TestPressureConvergesToWorstQuickly(t *testing.T) {
+	e := New(DefaultConfig())
+	for i := 0; i < 16; i++ {
+		e.Update(true)
+	}
+	// From 1, each pressured period halves the distance to 9.
+	e.Update(false)
+	if e.Cost() != 5 {
+		t.Fatalf("cost = %v, want 5", e.Cost())
+	}
+	for i := 0; i < 10; i++ {
+		e.Update(false)
+	}
+	if e.Cost() < 8.99 {
+		t.Fatalf("cost = %v, should converge to worst", e.Cost())
+	}
+}
+
+func TestWeightedSize(t *testing.T) {
+	e := New(DefaultConfig())
+	if got := e.WeightedSize(false, 4096); got != 4096 {
+		t.Fatalf("read weighted size = %d", got)
+	}
+	if got := e.WeightedSize(true, 4096); got != 9*4096 {
+		t.Fatalf("write weighted size = %d, want %d", got, 9*4096)
+	}
+	for i := 0; i < 100; i++ {
+		e.Update(true)
+	}
+	if got := e.WeightedSize(true, 4096); got != 4096 {
+		t.Fatalf("calm write weighted size = %d, want 4096", got)
+	}
+}
+
+func TestWorstBelowOneClamped(t *testing.T) {
+	e := New(Config{Worst: 0.5, Delta: 0.5})
+	if e.Cost() != 1 {
+		t.Fatalf("cost = %v, want clamped to 1", e.Cost())
+	}
+}
+
+// Property: cost always stays within [1, worst].
+func TestCostBoundsProperty(t *testing.T) {
+	f := func(calms []bool) bool {
+		e := New(DefaultConfig())
+		for _, c := range calms {
+			e.Update(c)
+			if e.Cost() < 1 || e.Cost() > 9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package fabric implements the NVMe-over-Fabrics layer: the command and
+// response capsule wire format, the network and SmartNIC CPU models, the
+// target core that owns per-SSD switch pipelines (§3.1, §4.1), and the
+// initiator sessions with the client side of the flow-control protocols.
+// Two interchangeable transports exist: an in-simulator loopback link
+// (latency + bandwidth model of the §2.1 RDMA flow) used by every
+// experiment, and a real TCP transport (tcp.go) used by the live target
+// binary and the integration tests.
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gimbal/internal/nvme"
+)
+
+// Capsule type tags on the wire.
+const (
+	capCommand  = 0x01
+	capResponse = 0x02
+)
+
+// Wire sizes.
+const (
+	cmdHeaderLen = 1 + 2 + 1 + 1 + 1 + 8 + 4 + 4 // type..datalen
+	rspHeaderLen = 1 + 2 + 2 + 4 + 4
+)
+
+// CommandCapsule is the initiator→target message: the NVMe submission
+// queue entry fields this system uses, plus an optional inline data
+// payload for writes (§2.1's inline-data optimization; the loopback
+// transport models data by length only).
+type CommandCapsule struct {
+	CID      uint16
+	Opcode   nvme.Opcode
+	Priority nvme.Priority
+	NSID     uint8 // SSD index within the target
+	SLBA     uint64
+	Length   uint32 // bytes
+	Data     []byte // optional write payload (TCP transport)
+}
+
+// ResponseCapsule is the target→initiator completion: status plus the
+// Gimbal credit piggybacked in the reserved field (§3.6), and optional
+// read payload.
+type ResponseCapsule struct {
+	CID    uint16
+	Status nvme.Status
+	Credit uint32
+	Data   []byte // optional read payload (TCP transport)
+}
+
+// AppendCommand serializes c onto buf.
+func AppendCommand(buf []byte, c *CommandCapsule) []byte {
+	buf = append(buf, capCommand)
+	buf = binary.BigEndian.AppendUint16(buf, c.CID)
+	buf = append(buf, byte(c.Opcode), byte(c.Priority), c.NSID)
+	buf = binary.BigEndian.AppendUint64(buf, c.SLBA)
+	buf = binary.BigEndian.AppendUint32(buf, c.Length)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Data)))
+	return append(buf, c.Data...)
+}
+
+// DecodeCommand parses a command capsule, returning the bytes consumed.
+func DecodeCommand(buf []byte) (*CommandCapsule, int, error) {
+	if len(buf) < cmdHeaderLen {
+		return nil, 0, fmt.Errorf("fabric: short command capsule: %d bytes", len(buf))
+	}
+	if buf[0] != capCommand {
+		return nil, 0, fmt.Errorf("fabric: not a command capsule: tag 0x%02x", buf[0])
+	}
+	c := &CommandCapsule{
+		CID:      binary.BigEndian.Uint16(buf[1:]),
+		Opcode:   nvme.Opcode(buf[3]),
+		Priority: nvme.Priority(buf[4]),
+		NSID:     buf[5],
+		SLBA:     binary.BigEndian.Uint64(buf[6:]),
+		Length:   binary.BigEndian.Uint32(buf[14:]),
+	}
+	dataLen := int(binary.BigEndian.Uint32(buf[18:]))
+	if len(buf) < cmdHeaderLen+dataLen {
+		return nil, 0, fmt.Errorf("fabric: command capsule truncated: want %d data bytes", dataLen)
+	}
+	if dataLen > 0 {
+		c.Data = append([]byte(nil), buf[cmdHeaderLen:cmdHeaderLen+dataLen]...)
+	}
+	return c, cmdHeaderLen + dataLen, nil
+}
+
+// AppendResponse serializes r onto buf.
+func AppendResponse(buf []byte, r *ResponseCapsule) []byte {
+	buf = append(buf, capResponse)
+	buf = binary.BigEndian.AppendUint16(buf, r.CID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Status))
+	buf = binary.BigEndian.AppendUint32(buf, r.Credit)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Data)))
+	return append(buf, r.Data...)
+}
+
+// DecodeResponse parses a response capsule, returning the bytes consumed.
+func DecodeResponse(buf []byte) (*ResponseCapsule, int, error) {
+	if len(buf) < rspHeaderLen {
+		return nil, 0, fmt.Errorf("fabric: short response capsule: %d bytes", len(buf))
+	}
+	if buf[0] != capResponse {
+		return nil, 0, fmt.Errorf("fabric: not a response capsule: tag 0x%02x", buf[0])
+	}
+	r := &ResponseCapsule{
+		CID:    binary.BigEndian.Uint16(buf[1:]),
+		Status: nvme.Status(binary.BigEndian.Uint16(buf[3:])),
+		Credit: binary.BigEndian.Uint32(buf[5:]),
+	}
+	dataLen := int(binary.BigEndian.Uint32(buf[9:]))
+	if len(buf) < rspHeaderLen+dataLen {
+		return nil, 0, fmt.Errorf("fabric: response capsule truncated: want %d data bytes", dataLen)
+	}
+	if dataLen > 0 {
+		r.Data = append([]byte(nil), buf[rspHeaderLen:rspHeaderLen+dataLen]...)
+	}
+	return r, rspHeaderLen + dataLen, nil
+}

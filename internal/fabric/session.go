@@ -1,0 +1,180 @@
+package fabric
+
+import (
+	"gimbal/internal/baseline/parda"
+	"gimbal/internal/core/credit"
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+)
+
+// Gater is the client-side flow controller of a session: Gimbal's credit
+// gate, PARDA's latency window, or nothing.
+type Gater interface {
+	CanSubmit() bool
+	OnSubmit()
+	// OnCompletion observes the completion's piggybacked credit and the
+	// end-to-end latency the client measured.
+	OnCompletion(cpl nvme.Completion, e2eLatency int64)
+	// Headroom estimates how many more IOs the gate would admit — the load
+	// signal the blobstore read balancer compares across replicas (§4.3).
+	Headroom() int
+}
+
+// nopGater admits everything (ReFlex, FlashFQ, vanilla clients).
+type nopGater struct{}
+
+func (nopGater) CanSubmit() bool                     { return true }
+func (nopGater) OnSubmit()                           {}
+func (nopGater) OnCompletion(nvme.Completion, int64) {}
+func (nopGater) Headroom() int                       { return 1 << 30 }
+
+// creditGater adapts Gimbal's credit gate (§3.6).
+type creditGater struct{ g *credit.Gate }
+
+func (c creditGater) CanSubmit() bool { return c.g.CanSubmit() }
+func (c creditGater) OnSubmit()       { c.g.OnSubmit() }
+func (c creditGater) OnCompletion(cpl nvme.Completion, _ int64) {
+	c.g.OnCompletion(cpl.Credit)
+}
+func (c creditGater) Headroom() int { return c.g.Headroom() }
+
+// pardaGater adapts the PARDA client window.
+type pardaGater struct{ w *parda.Window }
+
+func (p pardaGater) CanSubmit() bool { return p.w.CanSubmit() }
+func (p pardaGater) OnSubmit()       { p.w.OnSubmit() }
+func (p pardaGater) OnCompletion(_ nvme.Completion, lat int64) {
+	p.w.OnCompletion(lat)
+}
+func (p pardaGater) Headroom() int {
+	h := int(p.w.Window()) - p.w.Inflight()
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// NewGater returns the client-side controller matching the scheme.
+func NewGater(s Scheme) Gater {
+	switch s {
+	case SchemeGimbal:
+		return creditGater{g: credit.NewGate(true, 32)}
+	case SchemeParda:
+		return pardaGater{w: parda.NewWindow(parda.DefaultConfig())}
+	default:
+		return nopGater{}
+	}
+}
+
+// Session is an initiator's connection to one SSD on one target over the
+// loopback (simulated) transport: an RDMA qpair plus an NVMe qpair in the
+// paper's terms. It implements workload.Target.
+type Session struct {
+	clk    sim.Scheduler
+	target *Target
+	ssd    int
+	tenant *nvme.Tenant
+	gate   Gater
+
+	up   link // client → target (commands + write data)
+	down link // target → client (completions + read data)
+
+	pend []*nvme.IO // gated locally, §4.3's IO rate limiter behavior
+
+	// Stats.
+	Submitted int64
+	Completed int64
+	Errors    int64
+}
+
+// Connect registers the tenant on the target's SSD pipeline and returns a
+// session using the scheme's client-side gate.
+func (t *Target) Connect(tenant *nvme.Tenant, ssdIdx int) *Session {
+	return t.ConnectWithGater(tenant, ssdIdx, NewGater(t.cfg.Scheme))
+}
+
+// ConnectWithGater is Connect with an explicit client-side controller
+// (used by the Fig 13 flow-control ablation).
+func (t *Target) ConnectWithGater(tenant *nvme.Tenant, ssdIdx int, g Gater) *Session {
+	t.Register(ssdIdx, tenant)
+	return &Session{
+		clk:    t.clk,
+		target: t,
+		ssd:    ssdIdx,
+		tenant: tenant,
+		gate:   g,
+		up:     link{cfg: t.cfg.Net},
+		down:   link{cfg: t.cfg.Net},
+	}
+}
+
+// NopGater returns a pass-through controller (no flow control).
+func NopGater() Gater { return nopGater{} }
+
+// Tenant returns the session identity.
+func (s *Session) Tenant() *nvme.Tenant { return s.tenant }
+
+// SSD returns the SSD index the session is attached to.
+func (s *Session) SSD() int { return s.ssd }
+
+// Headroom exposes the gate's admission headroom (load balancing signal).
+func (s *Session) Headroom() int { return s.gate.Headroom() }
+
+// Pending returns the locally queued (gated) IO count.
+func (s *Session) Pending() int { return len(s.pend) }
+
+// Submit sends one IO to the remote SSD; io.Done fires at the client when
+// the completion capsule arrives. IOs past the flow-control window queue
+// locally (Algorithm 3's device-busy path).
+func (s *Session) Submit(io *nvme.IO) {
+	io.Tenant = s.tenant
+	if !s.gate.CanSubmit() {
+		s.pend = append(s.pend, io)
+		return
+	}
+	s.send(io)
+}
+
+func (s *Session) send(io *nvme.IO) {
+	s.gate.OnSubmit()
+	s.Submitted++
+	sendTime := s.clk.Now()
+
+	// Client → target: command capsule, plus write data fetched by the
+	// target via RDMA_READ (charged to the same direction).
+	wbytes := 0
+	if io.Op.IsWrite() {
+		wbytes = io.Size
+	}
+	arriveAt := s.up.send(sendTime, wbytes)
+
+	clientDone := io.Done
+	io.Done = func(io *nvme.IO, cpl nvme.Completion) {
+		// Target egress → client: completion capsule plus read data.
+		rbytes := 0
+		if io.Op == nvme.OpRead && cpl.Status == nvme.StatusOK {
+			rbytes = io.Size
+		}
+		deliverAt := s.down.send(s.clk.Now(), rbytes)
+		s.clk.At(deliverAt, func() {
+			s.Completed++
+			if cpl.Status != nvme.StatusOK {
+				s.Errors++
+			}
+			s.gate.OnCompletion(cpl, s.clk.Now()-sendTime)
+			io.Done = clientDone
+			clientDone(io, cpl)
+			s.drain()
+		})
+	}
+	s.clk.At(arriveAt, func() { s.target.Ingress(s.ssd, io) })
+}
+
+// drain forwards locally queued IOs as the gate opens.
+func (s *Session) drain() {
+	for len(s.pend) > 0 && s.gate.CanSubmit() {
+		io := s.pend[0]
+		s.pend = s.pend[1:]
+		s.send(io)
+	}
+}

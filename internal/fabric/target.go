@@ -1,0 +1,163 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+
+	"gimbal/internal/baseline/flashfq"
+	"gimbal/internal/baseline/reflex"
+	"gimbal/internal/baseline/vanilla"
+	"gimbal/internal/core"
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// Scheme selects the multi-tenancy mechanism (§5.1's comparison set).
+type Scheme int
+
+// Schemes under evaluation.
+const (
+	SchemeVanilla Scheme = iota
+	SchemeGimbal
+	SchemeReflex
+	SchemeFlashFQ
+	SchemeParda // vanilla target + client-side PARDA windows
+)
+
+// String names the scheme as the paper's figures do.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeVanilla:
+		return "vanilla"
+	case SchemeGimbal:
+		return "gimbal"
+	case SchemeReflex:
+		return "reflex"
+	case SchemeFlashFQ:
+		return "flashfq"
+	case SchemeParda:
+		return "parda"
+	default:
+		return "scheme(?)"
+	}
+}
+
+// AllSchemes is the comparison set of the evaluation figures.
+var AllSchemes = []Scheme{SchemeReflex, SchemeFlashFQ, SchemeParda, SchemeGimbal}
+
+// ParseScheme resolves a scheme name.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(name) {
+	case "vanilla":
+		return SchemeVanilla, nil
+	case "gimbal":
+		return SchemeGimbal, nil
+	case "reflex":
+		return SchemeReflex, nil
+	case "flashfq":
+		return SchemeFlashFQ, nil
+	case "parda":
+		return SchemeParda, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown scheme %q", name)
+}
+
+// TargetConfig configures a storage node.
+type TargetConfig struct {
+	Scheme  Scheme
+	Gimbal  core.Config
+	Reflex  reflex.Config
+	FlashFQ flashfq.Config
+	// CPU models the node's cores; nil disables CPU accounting.
+	CPU *CPUModel
+	// Net is the per-session link model.
+	Net NetConfig
+}
+
+// DefaultTargetConfig returns the paper's parameters for the scheme.
+func DefaultTargetConfig(s Scheme) TargetConfig {
+	return TargetConfig{
+		Scheme:  s,
+		Gimbal:  core.DefaultConfig(),
+		Reflex:  reflex.DefaultConfig(),
+		FlashFQ: flashfq.DefaultConfig(),
+		Net:     DefaultNet(),
+	}
+}
+
+// Pipeline is one per-SSD shared-nothing pipeline (§4.1).
+type Pipeline struct {
+	Sched nvme.Scheduler
+	Dev   ssd.Device
+	// Gimbal is non-nil when the scheme is Gimbal (virtual-view access).
+	Gimbal *core.Switch
+}
+
+// Target is a storage node: a set of SSDs, each behind its own scheduler
+// pipeline, fronted by the SmartNIC CPU model.
+type Target struct {
+	clk   sim.Scheduler
+	cfg   TargetConfig
+	pipes []*Pipeline
+}
+
+// NewTarget builds a node over the devices with the configured scheme.
+func NewTarget(clk sim.Scheduler, devs []ssd.Device, cfg TargetConfig) *Target {
+	t := &Target{clk: clk, cfg: cfg}
+	for _, dev := range devs {
+		p := &Pipeline{Dev: dev}
+		switch cfg.Scheme {
+		case SchemeGimbal:
+			sw := core.New(clk, dev, cfg.Gimbal)
+			p.Gimbal = sw
+			p.Sched = sw
+		case SchemeReflex:
+			p.Sched = reflex.New(clk, dev, cfg.Reflex)
+		case SchemeFlashFQ:
+			p.Sched = flashfq.New(clk, dev, cfg.FlashFQ)
+		case SchemeVanilla, SchemeParda:
+			p.Sched = vanilla.New(clk, dev)
+		default:
+			panic("fabric: unknown scheme")
+		}
+		t.pipes = append(t.pipes, p)
+	}
+	return t
+}
+
+// SSDs returns the number of device pipelines.
+func (t *Target) SSDs() int { return len(t.pipes) }
+
+// Pipeline returns the pipeline for an SSD index.
+func (t *Target) Pipeline(i int) *Pipeline { return t.pipes[i] }
+
+// Scheme returns the configured scheme.
+func (t *Target) Scheme() Scheme { return t.cfg.Scheme }
+
+// Register announces a tenant on an SSD pipeline.
+func (t *Target) Register(ssdIdx int, tenant *nvme.Tenant) {
+	t.pipes[ssdIdx].Sched.Register(tenant)
+}
+
+// Ingress injects an IO into a pipeline, charging the per-IO SmartNIC CPU
+// cost on both the submission and completion paths (§2.4). The io.Done
+// already set on the IO receives the completion after the egress charge.
+func (t *Target) Ingress(ssdIdx int, io *nvme.IO) {
+	pipe := t.pipes[ssdIdx]
+	downstream := io.Done
+	io.Done = func(io *nvme.IO, cpl nvme.Completion) {
+		if t.cfg.CPU == nil {
+			downstream(io, cpl)
+			return
+		}
+		at := t.cfg.CPU.ChargeIO(t.clk.Now(), t.cfg.CPU.CompleteCost, io.Size)
+		t.clk.At(at, func() { downstream(io, cpl) })
+	}
+	if t.cfg.CPU == nil {
+		pipe.Sched.Enqueue(io)
+		return
+	}
+	at := t.cfg.CPU.ChargeIO(t.clk.Now(), t.cfg.CPU.SubmitCost, io.Size)
+	t.clk.At(at, func() { pipe.Sched.Enqueue(io) })
+}

@@ -1,0 +1,353 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+)
+
+// The TCP transport frames capsules with a 4-byte big-endian length prefix
+// on a plain TCP stream — the NVMe-over-TCP shape of NVMe-oF (§2.1 lists
+// TCP among the supported fabrics). One TCP connection corresponds to one
+// tenant per namespace (the RDMA qpair + NVMe qpair pairing of §3.1).
+
+const maxFrame = 4 << 20 // caps a frame at 4MB: header + 128KB data is typical
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// TCPTarget serves a Target over TCP. Devices must have been built against
+// the provided RealScheduler; all pipeline access is serialized by its
+// lock.
+type TCPTarget struct {
+	RS     *sim.RealScheduler
+	target *Target
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	tenantID atomic.Int64
+}
+
+// ServeTCP starts accepting NVMe-oF-style connections on addr. The target
+// and its devices must share rs as their scheduler.
+func ServeTCP(rs *sim.RealScheduler, target *Target, addr string) (*TCPTarget, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPTarget{RS: rs, target: target, ln: ln}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listening address.
+func (t *TCPTarget) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the listener; in-flight connections terminate on their own
+// errors.
+func (t *TCPTarget) Close() error {
+	t.closed.Store(true)
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPTarget) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.serveConn(conn)
+	}
+}
+
+func (t *TCPTarget) serveConn(conn net.Conn) {
+	defer conn.Close()
+	out := make(chan []byte, 4096)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := bufio.NewWriter(conn)
+		for frame := range out {
+			if err := writeFrame(w, frame); err != nil {
+				return
+			}
+			if len(out) == 0 {
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// One tenant per namespace on this connection.
+	tenants := map[uint8]*nvme.Tenant{}
+	r := bufio.NewReaderSize(conn, 256<<10)
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			break
+		}
+		cmd, _, err := DecodeCommand(frame)
+		if err != nil {
+			break
+		}
+		t.handle(cmd, tenants, out)
+	}
+	close(out)
+	<-done
+}
+
+// handle injects one command into the right pipeline under the scheduler
+// lock and arranges the response frame.
+func (t *TCPTarget) handle(cmd *CommandCapsule, tenants map[uint8]*nvme.Tenant, out chan<- []byte) {
+	respond := func(rsp *ResponseCapsule) {
+		frame := AppendResponse(nil, rsp)
+		select {
+		case out <- frame:
+		default:
+			// Writer stalled beyond the outbound buffer: the client has
+			// violated flow control badly enough that dropping the
+			// connection is the only safe recovery.
+		}
+	}
+	if int(cmd.NSID) >= t.target.SSDs() {
+		respond(&ResponseCapsule{CID: cmd.CID, Status: nvme.StatusInvalidOp})
+		return
+	}
+	wantData := cmd.Opcode == nvme.OpRead
+	size := int(cmd.Length)
+	io := &nvme.IO{
+		Op:       cmd.Opcode,
+		Offset:   int64(cmd.SLBA) * 4096,
+		Size:     size,
+		Priority: cmd.Priority,
+		Done: func(_ *nvme.IO, cpl nvme.Completion) {
+			rsp := &ResponseCapsule{CID: cmd.CID, Status: cpl.Status, Credit: cpl.Credit}
+			if wantData && cpl.Status == nvme.StatusOK {
+				// The simulated SSD stores no payloads; serve zeroes so the
+				// wire carries realistic volume.
+				rsp.Data = make([]byte, size)
+			}
+			respond(rsp)
+		},
+	}
+
+	t.RS.Lock()
+	defer t.RS.Unlock()
+	tn, ok := tenants[cmd.NSID]
+	if !ok {
+		id := int(t.tenantID.Add(1))
+		tn = nvme.NewTenant(id, fmt.Sprintf("conn%d-ns%d", id, cmd.NSID))
+		tenants[cmd.NSID] = tn
+		t.target.Register(int(cmd.NSID), tn)
+	}
+	io.Tenant = tn
+	t.target.Ingress(int(cmd.NSID), io)
+}
+
+// TCPClient is the initiator side: it multiplexes async commands over one
+// connection and applies the scheme's client-side gate (credit or PARDA).
+type TCPClient struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+
+	mu      sync.Mutex
+	gate    Gater
+	pending map[uint16]*pendingCall
+	queue   []*pendingCall // gated locally
+	nextCID uint16
+	err     error
+
+	closed chan struct{}
+}
+
+type pendingCall struct {
+	cmd    *CommandCapsule
+	sentAt int64
+	done   chan callResult
+}
+
+type callResult struct {
+	rsp *ResponseCapsule
+	err error
+}
+
+// DialTCP connects to a target, applying the client-side controller for
+// the scheme (SchemeGimbal → credit gate, SchemeParda → PARDA window).
+func DialTCP(addr string, scheme Scheme) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPClient{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		gate:    NewGater(scheme),
+		pending: map[uint16]*pendingCall{},
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *TCPClient) Close() error {
+	err := c.conn.Close()
+	<-c.closed
+	return err
+}
+
+func (c *TCPClient) readLoop() {
+	defer close(c.closed)
+	r := bufio.NewReaderSize(c.conn, 256<<10)
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		rsp, _, err := DecodeResponse(frame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[rsp.CID]
+		delete(c.pending, rsp.CID)
+		if call != nil {
+			c.gate.OnCompletion(nvme.Completion{Status: rsp.Status, Credit: rsp.Credit}, 0)
+		}
+		c.drainLocked()
+		c.mu.Unlock()
+		if call != nil {
+			call.done <- callResult{rsp: rsp}
+		}
+	}
+}
+
+func (c *TCPClient) fail(err error) {
+	c.mu.Lock()
+	c.err = err
+	calls := make([]*pendingCall, 0, len(c.pending)+len(c.queue))
+	for cid, call := range c.pending {
+		delete(c.pending, cid)
+		calls = append(calls, call)
+	}
+	calls = append(calls, c.queue...)
+	c.queue = nil
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.done <- callResult{err: err}
+	}
+}
+
+// Go issues a command asynchronously, respecting the flow-control gate;
+// the returned channel receives exactly one result.
+func (c *TCPClient) Go(cmd *CommandCapsule) <-chan callResult {
+	call := &pendingCall{cmd: cmd, done: make(chan callResult, 1)}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		call.done <- callResult{err: err}
+		return call.done
+	}
+	if !c.gate.CanSubmit() {
+		c.queue = append(c.queue, call)
+		c.mu.Unlock()
+		return call.done
+	}
+	c.sendLocked(call)
+	c.mu.Unlock()
+	return call.done
+}
+
+// Do issues a command and waits for its completion.
+func (c *TCPClient) Do(cmd *CommandCapsule) (*ResponseCapsule, error) {
+	res := <-c.Go(cmd)
+	return res.rsp, res.err
+}
+
+// DoIO is a convenience for byte-addressed block IO.
+func (c *TCPClient) DoIO(op nvme.Opcode, nsid uint8, offset int64, size int, data []byte) (*ResponseCapsule, error) {
+	return c.Do(&CommandCapsule{
+		Opcode: op, NSID: nsid, SLBA: uint64(offset) / 4096,
+		Length: uint32(size), Data: data,
+	})
+}
+
+// sendLocked assigns a CID and writes the frame; c.mu must be held.
+func (c *TCPClient) sendLocked(call *pendingCall) {
+	for {
+		c.nextCID++
+		if _, busy := c.pending[c.nextCID]; !busy {
+			break
+		}
+	}
+	call.cmd.CID = c.nextCID
+	c.pending[c.nextCID] = call
+	c.gate.OnSubmit()
+	frame := AppendCommand(nil, call.cmd)
+	go func() {
+		c.wmu.Lock()
+		defer c.wmu.Unlock()
+		if err := writeFrame(c.bw, frame); err == nil {
+			c.bw.Flush()
+		}
+	}()
+}
+
+func (c *TCPClient) drainLocked() {
+	for len(c.queue) > 0 && c.gate.CanSubmit() {
+		call := c.queue[0]
+		c.queue = c.queue[1:]
+		c.sendLocked(call)
+	}
+}
+
+// Headroom exposes the gate state (for CLI status output).
+func (c *TCPClient) Headroom() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gate.Headroom()
+}
+
+// ErrClosed is returned for calls after the connection failed.
+var ErrClosed = errors.New("fabric: connection closed")

@@ -1,0 +1,74 @@
+package kvstore
+
+import "container/list"
+
+// blockCache is an LRU cache of (table, block) residency — the DB-level
+// block cache RocksDB keeps in front of storage. It stores presence, not
+// payloads: a hit means the read needs no device IO.
+type blockCache struct {
+	capacity int // blocks
+	ll       *list.List
+	items    map[blockKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type blockKey struct {
+	table uint64
+	block int
+}
+
+func newBlockCache(capacityBlocks int) *blockCache {
+	return &blockCache{
+		capacity: capacityBlocks,
+		ll:       list.New(),
+		items:    make(map[blockKey]*list.Element),
+	}
+}
+
+// touch looks up a block, inserting it on miss (read-through); reports
+// whether it was already resident.
+func (c *blockCache) touch(table uint64, block int) bool {
+	if c == nil || c.capacity <= 0 {
+		return false
+	}
+	k := blockKey{table, block}
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	el := c.ll.PushFront(k)
+	c.items[k] = el
+	if c.ll.Len() > c.capacity {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.items, old.Value.(blockKey))
+	}
+	return false
+}
+
+// dropTable evicts all of a table's blocks (after compaction removes it).
+func (c *blockCache) dropTable(table uint64) {
+	if c == nil {
+		return
+	}
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(blockKey).table == table {
+			c.ll.Remove(el)
+			delete(c.items, el.Value.(blockKey))
+		}
+		el = next
+	}
+}
+
+// HitRate returns the cache hit fraction.
+func (c *blockCache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}

@@ -1,0 +1,106 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The SSTable on-disk format. Each data block is exactly blockBytes on
+// storage:
+//
+//	u16 entryCount
+//	entryCount × { u64 key | u32 vlen | u8 flags | vlen value bytes }
+//	zero padding to blockBytes
+//
+// flags bit0 = tombstone, bit1 = value bytes present (faithful mode; in
+// scale mode only the length is stored and the value is synthesized).
+//
+// In the simulation the transports carry no payloads, so faithful-mode
+// tables keep their encoded image in memory as the "disk" and the read
+// path decodes blocks from it after the simulated block IO completes —
+// the codec is exercised on every faithful-mode lookup.
+
+const (
+	flagTomb     = 1 << 0
+	flagHasValue = 1 << 1
+	blockHdrLen  = 2
+	entryHdrLen  = 13 // 8 key + 4 vlen + 1 flags
+)
+
+// EncodeBlock serializes entries into a block of exactly blockBytes.
+// It fails if the entries exceed the block capacity.
+func EncodeBlock(entries []Entry, blockBytes int) ([]byte, error) {
+	if len(entries) > 0xffff {
+		return nil, fmt.Errorf("kvstore: %d entries exceed block entry limit", len(entries))
+	}
+	buf := make([]byte, 0, blockBytes)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.K))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.VLen))
+		var flags byte
+		if e.Tomb {
+			flags |= flagTomb
+		}
+		if e.V != nil {
+			flags |= flagHasValue
+		}
+		buf = append(buf, flags)
+		if e.V != nil {
+			if len(e.V) != e.VLen {
+				return nil, fmt.Errorf("kvstore: entry %d VLen %d != len(V) %d", i, e.VLen, len(e.V))
+			}
+			buf = append(buf, e.V...)
+		}
+	}
+	if len(buf) > blockBytes {
+		return nil, fmt.Errorf("kvstore: block overflow: %d > %d bytes", len(buf), blockBytes)
+	}
+	return append(buf, make([]byte, blockBytes-len(buf))...), nil
+}
+
+// DecodeBlock parses a block produced by EncodeBlock.
+func DecodeBlock(buf []byte) ([]Entry, error) {
+	if len(buf) < blockHdrLen {
+		return nil, fmt.Errorf("kvstore: short block: %d bytes", len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	pos := blockHdrLen
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		if pos+entryHdrLen > len(buf) {
+			return nil, fmt.Errorf("kvstore: block truncated at entry %d", i)
+		}
+		e := Entry{
+			K:    Key(binary.BigEndian.Uint64(buf[pos:])),
+			VLen: int(binary.BigEndian.Uint32(buf[pos+8:])),
+		}
+		flags := buf[pos+12]
+		e.Tomb = flags&flagTomb != 0
+		pos += entryHdrLen
+		if flags&flagHasValue != 0 {
+			if pos+e.VLen > len(buf) {
+				return nil, fmt.Errorf("kvstore: value truncated at entry %d", i)
+			}
+			e.V = append([]byte(nil), buf[pos:pos+e.VLen]...)
+			pos += e.VLen
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// encodeImage builds the table's full disk image (one padded block per
+// blockMeta) for faithful mode.
+func encodeImage(blocks []blockMeta, entries []Entry, blockBytes int) ([]byte, error) {
+	img := make([]byte, 0, len(blocks)*blockBytes)
+	for _, b := range blocks {
+		enc, err := EncodeBlock(entries[b.start:b.start+b.count], blockBytes)
+		if err != nil {
+			return nil, err
+		}
+		img = append(img, enc...)
+	}
+	return img, nil
+}

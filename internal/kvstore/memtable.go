@@ -1,0 +1,109 @@
+package kvstore
+
+import "gimbal/internal/sim"
+
+// Entry is one key-value record. A nil Value with VLen > 0 is a
+// synthesized value (scale mode); Tomb marks a deletion.
+type Entry struct {
+	K    Key
+	V    []byte
+	VLen int
+	Tomb bool
+}
+
+// EncodedLen returns the on-disk footprint of the entry (fixed header plus
+// value bytes), used to size blocks and tables.
+func (e *Entry) EncodedLen() int { return 13 + e.VLen } // 8 key + 4 len + 1 flags
+
+const maxSkipLevel = 12
+
+type skipNode struct {
+	entry Entry
+	next  [maxSkipLevel]*skipNode
+}
+
+// Memtable is a skiplist-based sorted write buffer, the LSM ingest stage.
+type Memtable struct {
+	head   *skipNode
+	rng    *sim.RNG
+	level  int
+	count  int
+	bytes  int64
+	maxSeq uint64
+}
+
+// NewMemtable returns an empty memtable; rng drives skiplist level choice.
+func NewMemtable(rng *sim.RNG) *Memtable {
+	return &Memtable{head: &skipNode{}, rng: rng, level: 1}
+}
+
+// Count returns the number of live records (latest versions only).
+func (m *Memtable) Count() int { return m.count }
+
+// Bytes returns the approximate encoded footprint.
+func (m *Memtable) Bytes() int64 { return m.bytes }
+
+func (m *Memtable) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && m.rng.Uint64()&3 == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills prev with the rightmost node before key at every
+// level.
+func (m *Memtable) findPredecessors(key Key, prev *[maxSkipLevel]*skipNode) *skipNode {
+	x := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].entry.K < key {
+			x = x.next[i]
+		}
+		prev[i] = x
+	}
+	return x.next[0]
+}
+
+// Put inserts or replaces a record.
+func (m *Memtable) Put(e Entry) {
+	var prev [maxSkipLevel]*skipNode
+	n := m.findPredecessors(e.K, &prev)
+	if n != nil && n.entry.K == e.K {
+		m.bytes += int64(e.EncodedLen() - n.entry.EncodedLen())
+		n.entry = e
+		return
+	}
+	lvl := m.randomLevel()
+	for m.level < lvl {
+		prev[m.level] = m.head
+		m.level++
+	}
+	node := &skipNode{entry: e}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = prev[i].next[i]
+		prev[i].next[i] = node
+	}
+	m.count++
+	m.bytes += int64(e.EncodedLen())
+}
+
+// Get returns the record for key; ok is false when the key is absent
+// (a tombstone still returns ok=true with Tomb set — the caller must stop
+// searching older data).
+func (m *Memtable) Get(key Key) (Entry, bool) {
+	var prev [maxSkipLevel]*skipNode
+	n := m.findPredecessors(key, &prev)
+	if n != nil && n.entry.K == key {
+		return n.entry, true
+	}
+	return Entry{}, false
+}
+
+// All returns the records in key order (consumed by flush).
+func (m *Memtable) All() []Entry {
+	out := make([]Entry, 0, m.count)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.entry)
+	}
+	return out
+}

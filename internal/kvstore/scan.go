@@ -1,0 +1,182 @@
+package kvstore
+
+import (
+	"sort"
+
+	"gimbal/internal/sim"
+)
+
+// Scan returns up to limit live entries with keys >= start, in key order —
+// the LSM range query behind YCSB-E. It merges the memtable, the
+// immutable memtable, and every overlapping table (newest version of each
+// key wins, tombstones mask older versions and are elided from the
+// output), and issues the block reads the touched table ranges require
+// (through the block cache), so scans generate the sequential-ish read IO
+// real range queries do.
+//
+// Scans are implemented as an extension: the paper's evaluation skips
+// YCSB-E, but the LSM structure supports it naturally.
+func (db *DB) Scan(p *sim.Proc, start Key, limit int) ([]Entry, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	db.stats.Scans++
+
+	// Snapshot the whole read view once — memtables and levels. Block IO
+	// below parks this process, during which flushes and compactions
+	// mutate db.mem/db.imm/db.levels; every widening retry must read the
+	// same consistent snapshot.
+	snap := scanSnapshot{mem: db.mem, imm: db.imm, levels: make([][]*Table, len(db.levels))}
+	for i := range db.levels {
+		snap.levels[i] = db.levels[i]
+	}
+
+	// Tombstones and shadowed versions consume merge candidates without
+	// producing output, so gather with a widening per-source window until
+	// enough live entries emerge or every source is exhausted.
+	for window := limit; ; window *= 4 {
+		out, complete, err := db.scanWindow(p, snap, start, limit, window)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) >= limit || complete || window > limit*256 {
+			return out, nil
+		}
+	}
+}
+
+// scanWindow gathers up to `window` candidates per source and merges them.
+// complete reports that no source had more entries beyond its window. A
+// truncated source only guarantees coverage up to its last gathered key,
+// so the merged output is clipped at the minimum such bound — otherwise a
+// gap hidden behind a truncation would be silently skipped.
+// scanSnapshot is the consistent read view a scan iterates.
+type scanSnapshot struct {
+	mem    *Memtable
+	imm    *Memtable
+	levels [][]*Table
+}
+
+func (db *DB) scanWindow(p *sim.Proc, snap scanSnapshot, start Key, limit, window int) (
+	out []Entry, complete bool, err error) {
+	complete = true
+	bound := ^Key(0)
+	clip := func(es []Entry, trunc bool) {
+		if trunc && len(es) > 0 {
+			if last := es[len(es)-1].K; last < bound {
+				bound = last
+			}
+			complete = false
+		}
+	}
+	var sources [][]Entry
+
+	es, trunc := memRange(snap.mem, start, window)
+	sources = append(sources, es)
+	clip(es, trunc)
+	if snap.imm != nil {
+		es, trunc = memRange(snap.imm, start, window)
+		sources = append(sources, es)
+		clip(es, trunc)
+	}
+
+	type tableRange struct {
+		t        *Table
+		from, to int
+	}
+	var touched []tableRange
+	addTable := func(t *Table) (added int) {
+		es := t.entries
+		from := sort.Search(len(es), func(i int) bool { return es[i].K >= start })
+		if from == len(es) {
+			return 0
+		}
+		to := from + window
+		truncated := false
+		if to > len(es) {
+			to = len(es)
+		} else {
+			truncated = true
+		}
+		sources = append(sources, es[from:to])
+		clip(es[from:to], truncated)
+		touched = append(touched, tableRange{t: t, from: from, to: to})
+		return to - from
+	}
+	for _, t := range snap.levels[0] {
+		if t.Max() >= start {
+			addTable(t)
+		}
+	}
+	for n := 1; n < len(snap.levels); n++ {
+		lv := snap.levels[n]
+		i := sort.Search(len(lv), func(i int) bool { return lv[i].Max() >= start })
+		got := 0
+		for ; i < len(lv) && got < window; i++ {
+			got += addTable(lv[i])
+		}
+		if i < len(lv) {
+			// Unvisited tables in this level begin past every gathered key
+			// of the level (disjoint sorted ranges), so they bound coverage.
+			if first := lv[i].Min(); first > 0 && first-1 < bound {
+				bound = first - 1
+			}
+			complete = false
+		}
+	}
+
+	// Issue the block IO covering the touched ranges (cache-aware).
+	for _, tr := range touched {
+		firstBlock := blockOfEntry(tr.t, tr.from)
+		lastBlock := blockOfEntry(tr.t, tr.to-1)
+		for bi := firstBlock; bi <= lastBlock; bi++ {
+			if db.cache.touch(tr.t.ID, bi) {
+				continue
+			}
+			db.stats.BlockReads++
+			if err := tr.t.readBlock(p, bi, db.opt.BlockBytes); err != nil {
+				// Table compacted away mid-scan: the merged result from the
+				// snapshot is still consistent; skip the dead IO.
+				continue
+			}
+		}
+	}
+
+	merged := mergeEntries(sources, false)
+	out = make([]Entry, 0, limit)
+	for _, e := range merged {
+		if e.K > bound {
+			break // beyond guaranteed coverage
+		}
+		if e.Tomb {
+			continue
+		}
+		out = append(out, e)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out, complete, nil
+}
+
+// memRange extracts up to limit entries with key >= start from a memtable,
+// reporting whether it stopped early.
+func memRange(m *Memtable, start Key, limit int) ([]Entry, bool) {
+	var out []Entry
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		if n.entry.K < start {
+			continue
+		}
+		if len(out) == limit {
+			return out, true
+		}
+		out = append(out, n.entry)
+	}
+	return out, false
+}
+
+// blockOfEntry locates the block index holding a table entry position.
+func blockOfEntry(t *Table, pos int) int {
+	i := sort.Search(len(t.blocks), func(i int) bool { return t.blocks[i].start > pos })
+	return i - 1
+}

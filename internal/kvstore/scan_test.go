@@ -1,0 +1,256 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"gimbal/internal/sim"
+)
+
+func TestScanReturnsSortedLiveRange(t *testing.T) {
+	loop := sim.NewLoop()
+	db, _ := testDB(loop, smallOpts())
+	loop.Spawn("c", func(p *sim.Proc) {
+		for k := Key(0); k < 3000; k++ {
+			if err := db.Put(p, k, val(k)); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		got, err := db.Scan(p, 100, 50)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		if len(got) != 50 {
+			t.Errorf("scan returned %d entries, want 50", len(got))
+			return
+		}
+		for i, e := range got {
+			if e.K != Key(100+i) {
+				t.Errorf("entry %d key = %d, want %d", i, e.K, 100+i)
+				return
+			}
+			if string(e.V) != string(val(e.K)) {
+				t.Errorf("entry %d value = %q", i, e.V)
+				return
+			}
+		}
+		db.Close()
+	})
+	loop.Run()
+	if db.Stats().Scans != 1 {
+		t.Fatalf("scan count = %d", db.Stats().Scans)
+	}
+}
+
+func TestScanSeesLatestVersionsAcrossLevels(t *testing.T) {
+	loop := sim.NewLoop()
+	db, _ := testDB(loop, smallOpts())
+	loop.Spawn("c", func(p *sim.Proc) {
+		for round := 0; round < 3; round++ {
+			for k := Key(0); k < 1200; k++ {
+				v := []byte(fmt.Sprintf("r%d-%d", round, k))
+				if err := db.Put(p, k, v); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}
+		got, err := db.Scan(p, 10, 20)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		for i, e := range got {
+			want := fmt.Sprintf("r2-%d", 10+i)
+			if string(e.V) != want {
+				t.Errorf("entry %d = %q, want latest %q", i, e.V, want)
+				return
+			}
+		}
+		db.Close()
+	})
+	loop.Run()
+}
+
+func TestScanSkipsTombstones(t *testing.T) {
+	loop := sim.NewLoop()
+	db, _ := testDB(loop, smallOpts())
+	loop.Spawn("c", func(p *sim.Proc) {
+		for k := Key(0); k < 1000; k++ {
+			if err := db.Put(p, k, val(k)); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+		for k := Key(10); k < 20; k++ {
+			if err := db.Delete(p, k); err != nil {
+				t.Errorf("delete: %v", err)
+			}
+		}
+		got, err := db.Scan(p, 5, 10)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		want := []Key{5, 6, 7, 8, 9, 20, 21, 22, 23, 24}
+		if len(got) != len(want) {
+			t.Errorf("scan = %d entries, want %d", len(got), len(want))
+			return
+		}
+		for i, e := range got {
+			if e.K != want[i] {
+				t.Errorf("entry %d = %d, want %d (tombstones must be skipped)", i, e.K, want[i])
+				return
+			}
+		}
+		db.Close()
+	})
+	loop.Run()
+}
+
+func TestScanPastEndReturnsShort(t *testing.T) {
+	loop := sim.NewLoop()
+	db, _ := testDB(loop, smallOpts())
+	loop.Spawn("c", func(p *sim.Proc) {
+		for k := Key(0); k < 100; k++ {
+			if err := db.Put(p, k, val(k)); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+		got, err := db.Scan(p, 90, 50)
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		if len(got) != 10 {
+			t.Errorf("scan past end = %d entries, want 10", len(got))
+		}
+		empty, err := db.Scan(p, 5000, 10)
+		if err != nil || len(empty) != 0 {
+			t.Errorf("scan beyond keyspace = %d entries, err %v", len(empty), err)
+		}
+		db.Close()
+	})
+	loop.Run()
+}
+
+func TestScanIssuesBlockIO(t *testing.T) {
+	loop := sim.NewLoop()
+	opt := smallOpts()
+	opt.BlockCacheBlocks = 0 // no cache: every scanned block costs IO
+	db, fbs := testDB(loop, opt)
+	loop.Spawn("c", func(p *sim.Proc) {
+		if err := FastLoad(p, db, 2000, 100); err != nil {
+			t.Errorf("load: %v", err)
+			return
+		}
+		before := fbs[0].reads + fbs[1].reads
+		if _, err := db.Scan(p, 500, 100); err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		after := fbs[0].reads + fbs[1].reads
+		if after == before {
+			t.Error("scan issued no block reads")
+		}
+		db.Close()
+	})
+	loop.Run()
+}
+
+func TestYCSBWorkloadE(t *testing.T) {
+	loop := sim.NewLoop()
+	db, _ := testDB(loop, smallOpts())
+	loop.Spawn("ycsb", func(p *sim.Proc) {
+		if err := FastLoad(p, db, 5000, 100); err != nil {
+			t.Errorf("load: %v", err)
+			return
+		}
+		r, err := NewYCSBRunner(db, 42, "E", 5000, 100)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.RunOps(p, 500); err != nil {
+			t.Errorf("run: %v", err)
+		}
+		db.Close()
+	})
+	loop.Run()
+	if db.Stats().Scans == 0 {
+		t.Fatal("workload E performed no scans")
+	}
+}
+
+// Property: Scan agrees with a reference sorted-map model under random
+// puts and deletes, across flushes and compactions.
+func TestScanMatchesModelProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		loop := sim.NewLoop()
+		db, _ := testDB(loop, smallOpts())
+		rng := sim.NewRNG(seed)
+		ref := map[Key][]byte{}
+		loop.Spawn("c", func(p *sim.Proc) {
+			for i := 0; i < 3000; i++ {
+				k := Key(rng.Intn(600))
+				if rng.Intn(5) == 0 {
+					if err := db.Delete(p, k); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+					delete(ref, k)
+				} else {
+					v := val(Key(i))
+					if err := db.Put(p, k, v); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+					ref[k] = v
+				}
+			}
+			for trial := 0; trial < 20; trial++ {
+				start := Key(rng.Intn(700))
+				limit := 1 + rng.Intn(30)
+				got, err := db.Scan(p, start, limit)
+				if err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				// Build the expected slice from the reference model.
+				var keys []Key
+				for k := range ref {
+					if k >= start {
+						keys = append(keys, k)
+					}
+				}
+				sortKeys(keys)
+				if len(keys) > limit {
+					keys = keys[:limit]
+				}
+				if len(got) != len(keys) {
+					t.Errorf("seed %d trial %d: scan(%d,%d) = %d entries, want %d",
+						seed, trial, start, limit, len(got), len(keys))
+					return
+				}
+				for i := range keys {
+					if got[i].K != keys[i] || string(got[i].V) != string(ref[keys[i]]) {
+						t.Errorf("seed %d trial %d entry %d: (%d,%q) want (%d,%q)",
+							seed, trial, i, got[i].K, got[i].V, keys[i], ref[keys[i]])
+						return
+					}
+				}
+			}
+			db.Close()
+		})
+		loop.Run()
+	}
+}
+
+func sortKeys(ks []Key) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+
+	"gimbal/internal/blobstore"
+	"gimbal/internal/sim"
+)
+
+// blockMeta indexes one 4KB data block of a table.
+type blockMeta struct {
+	first Key // first key in the block
+	start int // index of the block's first entry in the table's entry list
+	count int
+}
+
+// Table is one immutable SSTable: entries sorted by key, partitioned into
+// fixed 4KB on-disk blocks, with a block index and a bloom filter kept in
+// memory (as RocksDB pins index and filter blocks). Keys are always
+// retained in memory for exact membership and compaction; values are
+// retained only in faithful mode.
+type Table struct {
+	ID      uint64
+	file    *blobstore.File
+	min     Key
+	max     Key
+	blocks  []blockMeta
+	bloom   *Bloom
+	entries []Entry
+	bytes   int64 // on-disk footprint
+
+	// image is the encoded disk image (faithful mode): the read path
+	// decodes blocks from it after the simulated block IO, exercising the
+	// on-disk codec on every lookup.
+	image      []byte
+	blockBytes int
+}
+
+// Min and Max bound the table's key range.
+func (t *Table) Min() Key { return t.min }
+
+// Max returns the largest key.
+func (t *Table) Max() Key { return t.max }
+
+// Bytes returns the on-disk footprint.
+func (t *Table) Bytes() int64 { return t.bytes }
+
+// Entries returns the table's records (used by compaction).
+func (t *Table) Entries() []Entry { return t.entries }
+
+// Overlaps reports whether the table's range intersects [lo, hi].
+func (t *Table) Overlaps(lo, hi Key) bool { return t.min <= hi && lo <= t.max }
+
+// blockFor returns the index of the block that may hold key.
+func (t *Table) blockFor(key Key) int {
+	i := sort.Search(len(t.blocks), func(i int) bool { return t.blocks[i].first > key })
+	return i - 1
+}
+
+// search finds the key within a block. In faithful mode the block is
+// decoded from the table's disk image (the path real storage would take);
+// otherwise the retained entry slice is searched directly.
+func (t *Table) search(bi int, key Key) (Entry, bool) {
+	if t.image != nil {
+		start := bi * t.blockBytes
+		es, err := DecodeBlock(t.image[start : start+t.blockBytes])
+		if err != nil {
+			panic(fmt.Sprintf("kvstore: corrupt block %d of table %d: %v", bi, t.ID, err))
+		}
+		i := sort.Search(len(es), func(i int) bool { return es[i].K >= key })
+		if i < len(es) && es[i].K == key {
+			return es[i], true
+		}
+		return Entry{}, false
+	}
+	b := t.blocks[bi]
+	es := t.entries[b.start : b.start+b.count]
+	i := sort.Search(len(es), func(i int) bool { return es[i].K >= key })
+	if i < len(es) && es[i].K == key {
+		return es[i], true
+	}
+	return Entry{}, false
+}
+
+// buildTable writes sorted entries as an SSTable through the blob file
+// system, issuing chunked appends (the flush/compaction write traffic),
+// and returns the in-memory table handle. Entries must be sorted and
+// deduplicated. p is the calling simulation process.
+func buildTable(p *sim.Proc, fs *blobstore.FS, id uint64, name string,
+	entries []Entry, blockBytes int, retainValues bool) (*Table, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("kvstore: empty table build")
+	}
+	t := &Table{ID: id, min: entries[0].K, max: entries[len(entries)-1].K}
+	t.bloom = NewBloom(len(entries), 10)
+
+	// Partition into on-disk blocks of blockBytes encoded bytes (minus the
+	// block header); every block occupies exactly blockBytes on disk
+	// (padded), so block i lives at offset i*blockBytes.
+	capacity := blockBytes - blockHdrLen
+	cur := blockMeta{first: entries[0].K, start: 0}
+	curBytes := 0
+	for i := range entries {
+		e := &entries[i]
+		t.bloom.Add(e.K)
+		el := e.EncodedLen()
+		if el > capacity {
+			return nil, fmt.Errorf("kvstore: entry of %d bytes exceeds the %d-byte block", el, blockBytes)
+		}
+		if curBytes+el > capacity && cur.count > 0 {
+			t.blocks = append(t.blocks, cur)
+			cur = blockMeta{first: e.K, start: i}
+			curBytes = 0
+		}
+		cur.count++
+		curBytes += el
+		if !retainValues {
+			e.V = nil
+		}
+	}
+	t.blocks = append(t.blocks, cur)
+	t.entries = entries
+	t.bytes = int64(len(t.blocks)) * int64(blockBytes)
+	if retainValues {
+		img, err := encodeImage(t.blocks, entries, blockBytes)
+		if err != nil {
+			return nil, err
+		}
+		t.image = img
+		t.blockBytes = blockBytes
+	}
+
+	// Write the data through the blobstore in large sequential chunks.
+	t.file = fs.Create(name)
+	const chunk = 128 << 10
+	remaining := t.bytes
+	for remaining > 0 {
+		n := int64(chunk)
+		if remaining < n {
+			n = remaining
+		}
+		if err := t.file.Append(p, int(n)); err != nil {
+			return nil, err
+		}
+		remaining -= n
+	}
+	return t, nil
+}
+
+// readBlock fetches block bi from storage (one 4KB read), parking p.
+func (t *Table) readBlock(p *sim.Proc, bi int, blockBytes int) error {
+	return t.file.ReadAt(p, int64(bi)*int64(blockBytes), blockBytes)
+}
+
+// readAll streams the whole table from storage in 128KB chunks (the
+// compaction read pattern), parking p per chunk.
+func (t *Table) readAll(p *sim.Proc) error {
+	const chunk = 128 << 10
+	for off := int64(0); off < t.bytes; off += chunk {
+		n := int64(chunk)
+		if off+n > t.bytes {
+			n = t.bytes - off
+		}
+		if err := t.file.ReadAt(p, off, int(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drop deletes the table's backing file (frees and trims its blobs). The
+// in-memory entries are deliberately retained: live snapshots (scans, get
+// retries) may still be reading the table, and Go's GC reclaims the memory
+// once the last reference drops — the usual immutable-SSTable lifetime
+// rule.
+func (t *Table) drop() {
+	if t.file != nil {
+		t.file.Delete()
+	}
+}
+
+// mergeEntries merges per-source sorted entry lists, newest source first:
+// on duplicate keys the earliest source wins. Tombstones are dropped when
+// dropTombs is set (bottommost level).
+func mergeEntries(sources [][]Entry, dropTombs bool) []Entry {
+	type cursor struct {
+		src []Entry
+		pos int
+		pri int
+	}
+	var cs []*cursor
+	total := 0
+	for pri, src := range sources {
+		if len(src) > 0 {
+			cs = append(cs, &cursor{src: src, pri: pri})
+			total += len(src)
+		}
+	}
+	out := make([]Entry, 0, total)
+	for len(cs) > 0 {
+		// Pick the smallest key; among equal keys, the lowest priority
+		// index (newest source) wins and the rest advance past the key.
+		best := -1
+		for i, c := range cs {
+			if best == -1 {
+				best = i
+				continue
+			}
+			bk, ck := cs[best].src[cs[best].pos].K, c.src[c.pos].K
+			if ck < bk || (ck == bk && c.pri < cs[best].pri) {
+				best = i
+			}
+		}
+		e := cs[best].src[cs[best].pos]
+		key := e.K
+		// Advance every cursor past this key.
+		keep := cs[:0]
+		for _, c := range cs {
+			for c.pos < len(c.src) && c.src[c.pos].K == key {
+				c.pos++
+			}
+			if c.pos < len(c.src) {
+				keep = append(keep, c)
+			}
+		}
+		cs = keep
+		if dropTombs && e.Tomb {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

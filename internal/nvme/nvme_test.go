@@ -1,0 +1,81 @@
+package nvme
+
+import (
+	"testing"
+
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+func TestOpcodeProperties(t *testing.T) {
+	if !OpWrite.IsWrite() || OpRead.IsWrite() || OpFlush.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+	cases := map[Opcode]ssd.OpKind{
+		OpRead: ssd.OpRead, OpWrite: ssd.OpWrite, OpFlush: ssd.OpFlush, OpTrim: ssd.OpTrim,
+	}
+	for op, kind := range cases {
+		if op.Kind() != kind {
+			t.Fatalf("%v kind = %v", op, op.Kind())
+		}
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("String names wrong")
+	}
+}
+
+func TestPriorityWeights(t *testing.T) {
+	if PriorityHigh.Weight() <= PriorityNormal.Weight() ||
+		PriorityNormal.Weight() <= PriorityLow.Weight() {
+		t.Fatal("priority weights not strictly decreasing")
+	}
+}
+
+func TestSubmitterCheck(t *testing.T) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 1<<20, 0)
+	s := NewSubmitter(loop, dev)
+	cases := []struct {
+		io   IO
+		want Status
+	}{
+		{IO{Op: OpRead, Offset: 0, Size: 4096}, StatusOK},
+		{IO{Op: OpRead, Offset: 4096, Size: 4096}, StatusOK},
+		{IO{Op: OpFlush}, StatusOK},
+		{IO{Op: OpRead, Offset: 1, Size: 4096}, StatusInvalidLBA},
+		{IO{Op: OpRead, Offset: 0, Size: 100}, StatusInvalidLBA},
+		{IO{Op: OpRead, Offset: 1 << 20, Size: 4096}, StatusInvalidLBA},
+		{IO{Op: OpWrite, Offset: 0, Size: 0}, StatusInvalidLBA},
+		{IO{Op: Opcode(0x7f), Size: 4096}, StatusInvalidOp},
+	}
+	for i, c := range cases {
+		if got := s.Check(&c.io); got != c.want {
+			t.Fatalf("case %d: Check = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSubmitterStampsTimes(t *testing.T) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 1<<20, 5000)
+	s := NewSubmitter(loop, dev)
+	io := &IO{Op: OpRead, Offset: 0, Size: 4096}
+	var done bool
+	s.Submit(io, func(io *IO) {
+		done = true
+		if io.DeviceLatency() != 5000 {
+			t.Errorf("device latency = %d, want 5000", io.DeviceLatency())
+		}
+	})
+	loop.Run()
+	if !done {
+		t.Fatal("completion never delivered")
+	}
+}
+
+func TestTenantDefaults(t *testing.T) {
+	tn := NewTenant(3, "x")
+	if tn.ID != 3 || tn.Name != "x" || tn.Weight != 1 {
+		t.Fatalf("tenant defaults wrong: %+v", tn)
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero value is inert.
+type Event struct {
+	when   int64
+	seq    uint64 // tie-break: FIFO among equal times
+	fn     func()
+	index  int   // heap index, -1 when not queued
+	daemon bool  // does not keep Run alive
+	loop   *Loop // owning loop (nil for RealScheduler events)
+}
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.fn == nil }
+
+// Cancel removes the event from its loop's queue. Safe to call twice; safe
+// on fired events. (The event stays in the heap until popped, but its
+// callback is cleared.)
+func (e *Event) Cancel() {
+	if e.fn == nil {
+		return
+	}
+	e.fn = nil
+	if e.loop != nil && !e.daemon {
+		e.loop.foreground--
+	}
+}
+
+// MarkDaemon excludes the event from Run's liveness accounting: like a
+// daemon thread, a pending daemon event does not keep the simulation
+// running. Self-rescheduling housekeeping timers (write-cost ticks,
+// stats samplers) mark themselves daemon so Run terminates when real work
+// drains.
+func (e *Event) MarkDaemon() *Event {
+	if e.fn != nil && !e.daemon && e.loop != nil {
+		e.daemon = true
+		e.loop.foreground--
+	}
+	return e
+}
+
+// When returns the scheduled firing time.
+func (e *Event) When() int64 { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is a single-threaded discrete-event simulation loop with a virtual
+// clock. It is not safe for concurrent use except through the process layer
+// (see proc.go), which serializes all execution.
+type Loop struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	// foreground counts pending non-daemon events; Run stops when it
+	// reaches zero even if daemon timers remain queued.
+	foreground int
+	running    bool
+}
+
+// NewLoop returns a loop with the clock at zero.
+func NewLoop() *Loop { return &Loop{} }
+
+// Now implements Scheduler.
+func (l *Loop) Now() int64 { return l.now }
+
+// At implements Scheduler.
+func (l *Loop) At(t int64, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	e := &Event{when: t, seq: l.seq, fn: fn, loop: l}
+	l.foreground++
+	heap.Push(&l.events, e)
+	return e
+}
+
+// After implements Scheduler.
+func (l *Loop) After(d int64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now+d, fn)
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (l *Loop) Pending() int { return len(l.events) }
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false when the queue is empty.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		e := heap.Pop(&l.events).(*Event)
+		if e.fn == nil {
+			continue // cancelled
+		}
+		if e.when < l.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d < %d", e.when, l.now))
+		}
+		l.now = e.when
+		fn := e.fn
+		e.fn = nil
+		if !e.daemon {
+			l.foreground--
+		}
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue until no foreground (non-daemon) events
+// remain. Pending daemon timers do not keep the simulation alive.
+func (l *Loop) Run() {
+	l.guard()
+	for l.foreground > 0 && l.Step() {
+	}
+	l.running = false
+}
+
+// RunUntil processes events with time ≤ horizon, then sets the clock to
+// horizon. Events scheduled beyond the horizon remain queued.
+func (l *Loop) RunUntil(horizon int64) {
+	l.guard()
+	for len(l.events) > 0 {
+		e := l.events[0]
+		if e.fn == nil {
+			heap.Pop(&l.events)
+			continue
+		}
+		if e.when > horizon {
+			break
+		}
+		l.Step()
+	}
+	if l.now < horizon {
+		l.now = horizon
+	}
+	l.running = false
+}
+
+// RunFor advances the simulation by d nanoseconds.
+func (l *Loop) RunFor(d int64) { l.RunUntil(l.now + d) }
+
+func (l *Loop) guard() {
+	if l.running {
+		panic("sim: Loop re-entered")
+	}
+	l.running = true
+}
+
+// NextEventTime returns the time of the earliest non-cancelled event, or
+// math.MaxInt64 if none.
+func (l *Loop) NextEventTime() int64 {
+	for len(l.events) > 0 {
+		if l.events[0].fn == nil {
+			heap.Pop(&l.events)
+			continue
+		}
+		return l.events[0].when
+	}
+	return math.MaxInt64
+}

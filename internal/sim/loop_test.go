@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoopOrdersEventsByTime(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	l.After(30, func() { got = append(got, 3) })
+	l.After(10, func() { got = append(got, 1) })
+	l.After(20, func() { got = append(got, 2) })
+	l.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if l.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", l.Now())
+	}
+}
+
+func TestLoopFIFOAmongEqualTimes(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(100, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestLoopCancel(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	e := l.After(10, func() { fired = true })
+	e.Cancel()
+	l.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestLoopRunUntilHorizon(t *testing.T) {
+	l := NewLoop()
+	var fired []int64
+	l.After(10, func() { fired = append(fired, 10) })
+	l.After(50, func() { fired = append(fired, 50) })
+	l.RunUntil(20)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10]", fired)
+	}
+	if l.Now() != 20 {
+		t.Fatalf("clock = %d, want horizon 20", l.Now())
+	}
+	l.RunFor(40)
+	if len(fired) != 2 {
+		t.Fatalf("second event did not fire by t=60: %v", fired)
+	}
+}
+
+func TestLoopEventSchedulesEvent(t *testing.T) {
+	l := NewLoop()
+	var times []int64
+	var tick func()
+	n := 0
+	tick = func() {
+		times = append(times, l.Now())
+		n++
+		if n < 5 {
+			l.After(7, tick)
+		}
+	}
+	l.After(7, tick)
+	l.Run()
+	for i, ts := range times {
+		if want := int64(7 * (i + 1)); ts != want {
+			t.Fatalf("tick %d at %d, want %d", i, ts, want)
+		}
+	}
+}
+
+func TestLoopPastEventClampsToNow(t *testing.T) {
+	l := NewLoop()
+	l.After(100, func() {
+		l.At(50, func() {
+			if l.Now() != 100 {
+				t.Errorf("past event ran at %d, want clamped to 100", l.Now())
+			}
+		})
+	})
+	l.Run()
+}
+
+func TestNextEventTime(t *testing.T) {
+	l := NewLoop()
+	e := l.After(5, func() {})
+	l.After(9, func() {})
+	if got := l.NextEventTime(); got != 5 {
+		t.Fatalf("NextEventTime = %d, want 5", got)
+	}
+	e.Cancel()
+	if got := l.NextEventTime(); got != 9 {
+		t.Fatalf("NextEventTime after cancel = %d, want 9", got)
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the loop ends with the clock at the max delay.
+func TestLoopOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		l := NewLoop()
+		var seen []int64
+		var max int64
+		for _, d := range delays {
+			d := int64(d)
+			if d > max {
+				max = d
+			}
+			l.After(d, func() { seen = append(seen, l.Now()) })
+		}
+		l.Run()
+		if len(seen) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return l.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different seeds look identical")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(99)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(1)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(100)
+	}
+	mean := sum / n
+	if mean < 95 || mean > 105 {
+		t.Fatalf("Exp mean = %v, want ~100", mean)
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProcSleepAdvancesVirtualTime(t *testing.T) {
+	l := NewLoop()
+	var at []int64
+	l.Spawn("w", func(p *Proc) {
+		p.Sleep(100)
+		at = append(at, p.Now())
+		p.Sleep(250)
+		at = append(at, p.Now())
+	})
+	l.Run()
+	if len(at) != 2 || at[0] != 100 || at[1] != 350 {
+		t.Fatalf("wakeups at %v, want [100 350]", at)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		l := NewLoop()
+		var trace []string
+		for _, w := range []struct {
+			name string
+			step int64
+		}{{"a", 10}, {"b", 15}, {"c", 10}} {
+			w := w
+			l.Spawn(w.name, func(p *Proc) {
+				for i := 0; i < 4; i++ {
+					p.Sleep(w.step)
+					trace = append(trace, w.name)
+				}
+			})
+		}
+		l.Run()
+		return trace
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic trace length")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("nondeterministic trace: run %d: %v vs %v", i, got, first)
+				}
+			}
+		}
+	}
+	// a and c both wake at t=10; a spawned first, so a precedes c.
+	if first[0] != "a" || first[1] != "c" || first[2] != "b" {
+		t.Fatalf("unexpected interleaving: %v", first)
+	}
+}
+
+func TestGateReleasesWaiters(t *testing.T) {
+	l := NewLoop()
+	var g Gate
+	var got []any
+	for i := 0; i < 3; i++ {
+		l.Spawn("waiter", func(p *Proc) {
+			got = append(got, g.Wait(p))
+		})
+	}
+	l.After(50, func() { g.Fire(7) })
+	l.Run()
+	if len(got) != 3 {
+		t.Fatalf("released %d waiters, want 3", len(got))
+	}
+	for _, v := range got {
+		if v != 7 {
+			t.Fatalf("waiter got %v, want 7", v)
+		}
+	}
+}
+
+func TestGateWaitAfterFireReturnsImmediately(t *testing.T) {
+	l := NewLoop()
+	var g Gate
+	g.Fire("x")
+	done := false
+	l.Spawn("late", func(p *Proc) {
+		if v := g.Wait(p); v != "x" {
+			t.Errorf("late waiter got %v", v)
+		}
+		done = true
+	})
+	l.Run()
+	if !done {
+		t.Fatal("late waiter never ran")
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	l := NewLoop()
+	sem := NewSemaphore(2)
+	active, maxActive := 0, 0
+	for i := 0; i < 6; i++ {
+		l.Spawn("u", func(p *Proc) {
+			sem.Acquire(p)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Sleep(10)
+			active--
+			sem.Release()
+		})
+	}
+	l.Run()
+	if maxActive != 2 {
+		t.Fatalf("max concurrent holders = %d, want 2", maxActive)
+	}
+	if sem.Available() != 2 {
+		t.Fatalf("permits leaked: %d available, want 2", sem.Available())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	sem := NewSemaphore(1)
+	if !sem.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if sem.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded")
+	}
+	sem.Release()
+	if !sem.TryAcquire() {
+		t.Fatal("TryAcquire after Release failed")
+	}
+}
+
+func TestProcWakeFromEvent(t *testing.T) {
+	l := NewLoop()
+	var p *Proc
+	var got any
+	p = l.Spawn("sleeper", func(p *Proc) {
+		got = p.Park()
+	})
+	l.After(20, func() { p.Wake("ping") })
+	l.Run()
+	if got != "ping" {
+		t.Fatalf("Park returned %v, want ping", got)
+	}
+	if !p.Done() {
+		t.Fatal("proc not done after Run")
+	}
+}
+
+func TestRealSchedulerFiresCallbacks(t *testing.T) {
+	s := NewRealScheduler()
+	done := make(chan struct{})
+	s.After(int64(time.Millisecond), func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real scheduler callback never fired")
+	}
+	if s.Now() <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestRealSchedulerCancel(t *testing.T) {
+	s := NewRealScheduler()
+	fired := make(chan struct{}, 1)
+	e := s.After(int64(5*time.Millisecond), func() { fired <- struct{}{} })
+	s.Lock()
+	e.Cancel()
+	s.Unlock()
+	select {
+	case <-fired:
+		t.Fatal("cancelled callback fired")
+	case <-time.After(30 * time.Millisecond):
+	}
+}

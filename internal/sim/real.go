@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// RealScheduler implements Scheduler against the wall clock using
+// time.AfterFunc. It lets the simulation-grade components (SSD model,
+// Gimbal pipeline) run behind the live TCP target. Callbacks fire on timer
+// goroutines serialized by an internal mutex, so components driven by a
+// RealScheduler see the same single-threaded discipline they see under the
+// event loop; use Lock/Unlock around external entry points into such
+// components.
+type RealScheduler struct {
+	mu    sync.Mutex
+	epoch time.Time
+}
+
+// NewRealScheduler returns a wall-clock scheduler with the epoch at now.
+func NewRealScheduler() *RealScheduler {
+	return &RealScheduler{epoch: time.Now()}
+}
+
+// Lock serializes external entry into components driven by this scheduler.
+func (s *RealScheduler) Lock() { s.mu.Lock() }
+
+// Unlock releases the serialization lock.
+func (s *RealScheduler) Unlock() { s.mu.Unlock() }
+
+// Now implements Scheduler.
+func (s *RealScheduler) Now() int64 { return int64(time.Since(s.epoch)) }
+
+// At implements Scheduler.
+func (s *RealScheduler) At(t int64, fn func()) *Event {
+	d := t - s.Now()
+	if d < 0 {
+		d = 0
+	}
+	return s.After(d, fn)
+}
+
+// After implements Scheduler. The callback runs holding the scheduler lock.
+func (s *RealScheduler) After(d int64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	e := &Event{when: s.Now() + d, fn: fn}
+	timer := time.AfterFunc(time.Duration(d), func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if e.fn == nil {
+			return
+		}
+		f := e.fn
+		e.fn = nil
+		f()
+	})
+	_ = timer
+	return e
+}

@@ -1,0 +1,504 @@
+package ssd
+
+import (
+	"fmt"
+
+	"gimbal/internal/sim"
+)
+
+// OpKind distinguishes request types.
+type OpKind uint8
+
+// Request operations.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpFlush
+	OpTrim
+)
+
+// String returns the NVMe-style opcode name.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	case OpTrim:
+		return "trim"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Request is one block IO against a device. Offset and Size must be
+// page-aligned multiples (the NVMe layer enforces this). Done is invoked
+// exactly once, in simulation context, when the IO completes; SubmitTime
+// and CompleteTime are then filled in.
+type Request struct {
+	Kind   OpKind
+	Offset int64
+	Size   int
+	Done   func(*Request)
+
+	SubmitTime   int64
+	CompleteTime int64
+
+	// MediaErr marks the request as failed by the device (fault
+	// injection); timing fields are still populated.
+	MediaErr bool
+
+	// Tag is opaque to the device; upper layers use it to route
+	// completions (tenant, qpair, command id).
+	Tag any
+}
+
+// Latency returns the device-observed service time of a completed request.
+func (r *Request) Latency() int64 { return r.CompleteTime - r.SubmitTime }
+
+// Device is the block device abstraction the NVMe layer drives.
+type Device interface {
+	// Submit queues one request. The device invokes r.Done on completion.
+	Submit(r *Request)
+	// Capacity returns the usable byte capacity.
+	Capacity() int64
+}
+
+// Stats is a snapshot of device counters.
+type Stats struct {
+	ReadBytes    int64
+	WriteBytes   int64
+	ReadOps      int64
+	WriteOps     int64
+	GCMovedPages uint64
+	Erases       uint64
+	WriteAmp     float64
+	FreeBlocks   int
+	BufOccupancy int64
+	QueuedHost   int // host commands waiting for an internal slot
+}
+
+// SSD is the simulated NVMe SSD. All methods must be called in scheduler
+// context (event callbacks or cooperative processes for the virtual clock;
+// holding the RealScheduler lock for the wall clock).
+type SSD struct {
+	p     Params
+	sched sim.Scheduler
+	ftl   *ftl
+
+	dieBusy  []int64 // per-die timeline: busy until
+	chanBusy []int64 // per-channel timeline
+
+	// gcFence is the per-die time before which no program op may start:
+	// garbage-collection work serializes ahead of host writes here, so
+	// write throughput pays the full write-amplification cost. Reads are
+	// charged only a bounded GCSlice per batch on the shared timeline,
+	// modeling the read-suspend capability of real dies — without it a
+	// single victim reclamation would block co-located reads for tens of
+	// milliseconds.
+	gcFence []int64
+
+	// progBusy is the per-die program pipeline: program ops (and the GC
+	// fence) serialize here at full duration, while reads on the shared
+	// dieBusy timeline are charged only ProgramReadSlice per program
+	// (program-suspend).
+	progBusy []int64
+
+	// lastRow caches the NAND row most recently read into each die's page
+	// register: a consecutive read of the same row skips the array read
+	// and pays only the channel transfer, which is what makes small
+	// sequential reads fast on real flash.
+	lastRow []uint32
+
+	// Write buffer state. Admitted write bytes occupy the buffer until
+	// their program ops complete.
+	bufOccupancy int64
+	bufPages     map[uint32]int // logical page -> pending program ops covering it
+	flushDie     int            // round-robin die cursor for flush allocation
+	lastFlushEnd int64          // completion time of the most recent program op
+
+	// Flush staging: buffered pages awaiting NAND programming. Pages are
+	// programmed in full multi-plane batches; a linger timer flushes
+	// stragglers so the buffer always drains. Coalescing buffered pages
+	// from different host commands into one program op is what gives small
+	// buffered writes their sustained bandwidth.
+	flushPending []uint32
+	lingerEv     *sim.Event
+
+	// Host command admission: at most InternalQD requests are in service;
+	// excess arrivals wait in FIFO order.
+	inService int
+	waitQ     []*Request
+
+	// Writes admitted to the command stream but blocked on buffer space.
+	bufWaitQ []*Request
+
+	stats Stats
+}
+
+// New builds an SSD from params. It panics on invalid params (programmer
+// error: parameter sets are code, not input).
+func New(sched sim.Scheduler, p Params) *SSD {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &SSD{
+		p:        p,
+		sched:    sched,
+		ftl:      newFTL(p),
+		dieBusy:  make([]int64, p.Dies()),
+		chanBusy: make([]int64, p.Channels),
+		gcFence:  make([]int64, p.Dies()),
+		progBusy: make([]int64, p.Dies()),
+		lastRow:  newRowCache(p.Dies()),
+		bufPages: make(map[uint32]int),
+	}
+}
+
+// Params returns the device parameters.
+func (s *SSD) Params() Params { return s.p }
+
+// Capacity implements Device.
+func (s *SSD) Capacity() int64 { return s.p.UsableBytes }
+
+// Stats returns a snapshot of the device counters.
+func (s *SSD) Stats() Stats {
+	st := s.stats
+	st.GCMovedPages = s.ftl.gcMoved
+	st.Erases = s.ftl.gcErases
+	st.WriteAmp = s.ftl.writeAmplification()
+	st.FreeBlocks = s.ftl.freeBlocks()
+	st.BufOccupancy = s.bufOccupancy
+	st.QueuedHost = len(s.waitQ)
+	return st
+}
+
+// Submit implements Device.
+func (s *SSD) Submit(r *Request) {
+	if r.Done == nil {
+		panic("ssd: Submit with nil Done")
+	}
+	if err := s.checkBounds(r); err != nil {
+		panic(err)
+	}
+	r.SubmitTime = s.sched.Now()
+	if s.inService >= s.p.InternalQD {
+		s.waitQ = append(s.waitQ, r)
+		return
+	}
+	s.start(r)
+}
+
+func (s *SSD) checkBounds(r *Request) error {
+	ps := int64(s.p.PageSize)
+	switch r.Kind {
+	case OpRead, OpWrite, OpTrim:
+		if r.Size <= 0 || r.Offset < 0 || r.Offset+int64(r.Size) > s.p.UsableBytes {
+			return fmt.Errorf("ssd: %s out of bounds: off=%d size=%d cap=%d", r.Kind, r.Offset, r.Size, s.p.UsableBytes)
+		}
+		if r.Offset%ps != 0 || int64(r.Size)%ps != 0 {
+			return fmt.Errorf("ssd: %s not page aligned: off=%d size=%d", r.Kind, r.Offset, r.Size)
+		}
+	case OpFlush:
+	default:
+		return fmt.Errorf("ssd: unknown op %d", r.Kind)
+	}
+	return nil
+}
+
+func (s *SSD) start(r *Request) {
+	s.inService++
+	switch r.Kind {
+	case OpRead:
+		s.startRead(r)
+	case OpWrite:
+		s.startWrite(r)
+	case OpFlush:
+		s.pumpFlush(true)
+		s.completeAt(r, max64(s.lastFlushEnd, s.sched.Now()+s.p.CmdOverhead))
+	case OpTrim:
+		first := uint32(r.Offset / int64(s.p.PageSize))
+		count := uint32(r.Size / s.p.PageSize)
+		s.ftl.trim(first, count)
+		s.completeAt(r, s.sched.Now()+s.p.CmdOverhead)
+	}
+}
+
+// completeAt schedules the request's completion and the follow-on admission
+// of a queued command.
+func (s *SSD) completeAt(r *Request, t int64) {
+	s.sched.At(t, func() {
+		r.CompleteTime = s.sched.Now()
+		s.inService--
+		if len(s.waitQ) > 0 {
+			next := s.waitQ[0]
+			s.waitQ = s.waitQ[1:]
+			s.start(next)
+		}
+		r.Done(r)
+	})
+}
+
+// newRowCache builds a register cache with no row latched.
+func newRowCache(n int) []uint32 {
+	rows := make([]uint32, n)
+	for i := range rows {
+		rows[i] = ^uint32(0) >> 1 // matches no real or pseudo row id
+	}
+	return rows
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gcSlice returns the configured GC charge bound (with a sane default for
+// parameter sets that predate the field).
+func (s *SSD) gcSlice() int64 {
+	if s.p.GCSlice > 0 {
+		return s.p.GCSlice
+	}
+	return 1_500_000
+}
+
+// reserve takes FIFO occupancy on a timeline resource: the operation starts
+// when the resource frees, runs for dur, and the new busy-until is
+// returned along with the start time.
+func reserve(busy *int64, earliest, dur int64) (start, end int64) {
+	start = earliest
+	if *busy > start {
+		start = *busy
+	}
+	end = start + dur
+	*busy = end
+	return start, end
+}
+
+// startRead decomposes a read into NAND operations. Logical pages that live
+// in the same NAND row (the multi-plane page a program batch wrote) are
+// served by a single array read — the register holds the whole row — so
+// sequentially written data reads back with high parallelism while random
+// 4KB reads pay one tR each. Each row then transfers its pages over the
+// die's channel. The request completes when its last page lands; pages
+// resident in the write buffer are served at buffer latency.
+func (s *SSD) startRead(r *Request) {
+	now := s.sched.Now() + s.p.CmdOverhead
+	first := uint32(r.Offset / int64(s.p.PageSize))
+	pages := uint32(r.Size / s.p.PageSize)
+	var latest int64 = now + s.p.BufReadLatency
+
+	// Group pages into NAND rows. Requests are at most a few dozen pages;
+	// a small slice beats a map.
+	type row struct {
+		die   int
+		id    uint32
+		count int
+	}
+	var rows []row
+	addPage := func(rowID uint32, die int) {
+		for i := range rows {
+			if rows[i].id == rowID {
+				rows[i].count++
+				return
+			}
+		}
+		rows = append(rows, row{die: die, id: rowID, count: 1})
+	}
+	for i := uint32(0); i < pages; i++ {
+		logical := first + i
+		if s.bufPages[logical] > 0 {
+			continue // buffer hit: covered by the floor latency above
+		}
+		phys := s.ftl.lookup(logical)
+		if phys == invalidPage {
+			// Unmapped page: deterministic pseudo-placement, own row.
+			h := uint64(logical) * 0x9e3779b97f4a7c15
+			die := int(h % uint64(s.p.Dies()))
+			addPage(^logical, die)
+			continue
+		}
+		addPage(phys/uint32(s.p.ProgramPages), s.ftl.dieOfPhys(phys))
+	}
+	for _, rw := range rows {
+		ch := s.ftl.channelOfDie(rw.die)
+		var dieEnd int64
+		if s.lastRow[rw.die] == rw.id {
+			// Register hit: the row is already latched; only transfer.
+			dieEnd = max64(now, s.dieBusy[rw.die])
+		} else {
+			_, dieEnd = reserve(&s.dieBusy[rw.die], now, s.p.ReadLatency)
+			s.lastRow[rw.die] = rw.id
+		}
+		_, xferEnd := reserve(&s.chanBusy[ch], dieEnd, s.p.XferTime(rw.count*s.p.PageSize))
+		if xferEnd > latest {
+			latest = xferEnd
+		}
+	}
+	s.stats.ReadBytes += int64(r.Size)
+	s.stats.ReadOps++
+	s.completeAt(r, latest)
+}
+
+// startWrite admits the write into the DRAM buffer (waiting for space if
+// full), acknowledges it at buffer latency, and eagerly schedules the NAND
+// program work.
+func (s *SSD) startWrite(r *Request) {
+	if s.bufOccupancy+int64(r.Size) > s.p.WriteBufBytes {
+		s.bufWaitQ = append(s.bufWaitQ, r)
+		return
+	}
+	s.admitWrite(r)
+}
+
+func (s *SSD) admitWrite(r *Request) {
+	now := s.sched.Now()
+	s.bufOccupancy += int64(r.Size)
+	s.stats.WriteBytes += int64(r.Size)
+	s.stats.WriteOps++
+
+	first := uint32(r.Offset / int64(s.p.PageSize))
+	pages := r.Size / s.p.PageSize
+	for i := 0; i < pages; i++ {
+		logical := first + uint32(i)
+		s.bufPages[logical]++
+		s.flushPending = append(s.flushPending, logical)
+	}
+	s.pumpFlush(false)
+	// The host sees the buffered-write acknowledgment.
+	s.completeAt(r, now+s.p.CmdOverhead+s.p.BufWriteLatency)
+}
+
+// flushLinger bounds how long a partial program batch may wait for
+// coalescing partners before being programmed anyway.
+const flushLinger = 60 * sim.Microsecond
+
+// pumpFlush issues full program batches from the staging queue; with force
+// it also drains a trailing partial batch. A linger timer guarantees
+// stragglers are flushed even if no further writes arrive.
+func (s *SSD) pumpFlush(force bool) {
+	for len(s.flushPending) >= s.p.ProgramPages {
+		s.programBatch(s.flushPending[:s.p.ProgramPages])
+		s.flushPending = s.flushPending[s.p.ProgramPages:]
+	}
+	if len(s.flushPending) == 0 {
+		return
+	}
+	if force {
+		s.programBatch(s.flushPending)
+		s.flushPending = nil
+		return
+	}
+	if s.lingerEv == nil || s.lingerEv.Cancelled() {
+		s.lingerEv = s.sched.After(flushLinger, func() { s.pumpFlush(true) })
+	}
+}
+
+// programBatch maps the batch's logical pages onto the next die and
+// reserves the channel transfer plus program time, charging any GC work the
+// allocation triggered to the same die first (GC blocks the die before the
+// program can proceed — the mechanism behind fragmented-SSD collapse).
+func (s *SSD) programBatch(batch []uint32) {
+	now := s.sched.Now()
+	die := s.pickFlushDie()
+
+	pages := append([]uint32(nil), batch...)
+	var work gcWork
+	for _, logical := range pages {
+		w, err := s.ftl.writePage(logical, die)
+		if err != nil {
+			panic(err)
+		}
+		work.add(w)
+	}
+	// GC bookkeeping completed instantly above. Its time cost serializes
+	// ahead of this die's future program ops (full write-amplification
+	// backpressure on writes), while the shared die timeline — where reads
+	// queue — is charged at most one GCSlice per batch.
+	gcCost := int64(work.moved)*(s.p.ReadLatency/int64(s.p.ProgramPages)+s.p.ProgPerPage()) +
+		int64(work.erases)*s.p.EraseLatency
+	if gcCost > 0 {
+		fenceStart := max64(now, s.gcFence[die])
+		s.gcFence[die] = fenceStart + gcCost
+		if slice := min64(gcCost, s.gcSlice()); slice > 0 {
+			reserve(&s.dieBusy[die], now, slice)
+		}
+	}
+	// Programming clobbers the die's page register.
+	s.lastRow[die] = ^uint32(0) >> 1
+	ch := s.ftl.channelOfDie(die)
+	bytes := len(pages) * s.p.PageSize
+	_, xferEnd := reserve(&s.chanBusy[ch], now, s.p.XferTime(bytes))
+	// The program runs at full duration on the die's program pipeline,
+	// behind any GC backlog; co-located reads are charged only the
+	// suspend slice on the shared timeline.
+	progStart := max64(xferEnd, s.gcFence[die])
+	_, progEnd := reserve(&s.progBusy[die], progStart, s.p.ProgramLatency)
+	if slice := min64(s.p.ProgramReadSlice, s.p.ProgramLatency); slice > 0 {
+		reserve(&s.dieBusy[die], now, slice)
+	}
+	if progEnd > s.lastFlushEnd {
+		s.lastFlushEnd = progEnd
+	}
+	s.sched.At(progEnd, func() { s.onProgramDone(pages, bytes) })
+}
+
+// pickFlushDie advances the round-robin stripe cursor, skipping dies whose
+// free pool is too depleted to accept writes safely (real FTL allocators
+// weight channel selection by free space; without this, valid data slowly
+// concentrates on unlucky dies until their GC has no room to operate).
+func (s *SSD) pickFlushDie() int {
+	n := s.p.Dies()
+	for i := 0; i < n; i++ {
+		die := s.flushDie
+		s.flushDie = (s.flushDie + 1) % n
+		if s.ftl.dieWritable(die) {
+			return die
+		}
+	}
+	// Every die is tight: pick the one with the most free blocks.
+	best := 0
+	for d := 1; d < n; d++ {
+		if s.ftl.freeOf(d) > s.ftl.freeOf(best) {
+			best = d
+		}
+	}
+	return best
+}
+
+// onProgramDone releases buffer space and admits writes blocked on it.
+func (s *SSD) onProgramDone(pages []uint32, bytes int) {
+	for _, logical := range pages {
+		if n := s.bufPages[logical]; n <= 1 {
+			delete(s.bufPages, logical)
+		} else {
+			s.bufPages[logical] = n - 1
+		}
+	}
+	s.bufOccupancy -= int64(bytes)
+	for len(s.bufWaitQ) > 0 {
+		r := s.bufWaitQ[0]
+		if s.bufOccupancy+int64(r.Size) > s.p.WriteBufBytes {
+			break
+		}
+		s.bufWaitQ = s.bufWaitQ[1:]
+		s.admitWrite(r)
+	}
+}
+
+// FTLCheck validates FTL invariants (exported for tests).
+func (s *SSD) FTLCheck() error { return s.ftl.checkInvariants() }
+
+// WriteAmplification returns the cumulative write amplification factor.
+func (s *SSD) WriteAmplification() float64 { return s.ftl.writeAmplification() }

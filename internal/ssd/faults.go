@@ -1,0 +1,60 @@
+package ssd
+
+import "gimbal/internal/sim"
+
+// FaultyDevice wraps a Device and fails a deterministic fraction of
+// requests with media errors — the flash-failure model that the
+// blobstore's two-way replication (§4.3) exists to survive. Failed
+// requests complete through the normal path with MediaErr set, after the
+// device's usual service time (an error is discovered by attempting the
+// operation).
+type FaultyDevice struct {
+	Inner Device
+	rng   *sim.RNG
+
+	// ReadFailEvery fails one in N reads (0 = never).
+	ReadFailEvery int
+	// WriteFailEvery fails one in N writes (0 = never).
+	WriteFailEvery int
+
+	ReadFails, WriteFails int64
+}
+
+// NewFaultyDevice wraps dev. Failures are deterministic given the seed.
+func NewFaultyDevice(dev Device, seed uint64, readFailEvery, writeFailEvery int) *FaultyDevice {
+	return &FaultyDevice{
+		Inner:          dev,
+		rng:            sim.NewRNG(seed),
+		ReadFailEvery:  readFailEvery,
+		WriteFailEvery: writeFailEvery,
+	}
+}
+
+// Capacity implements Device.
+func (f *FaultyDevice) Capacity() int64 { return f.Inner.Capacity() }
+
+// Submit implements Device.
+func (f *FaultyDevice) Submit(r *Request) {
+	fail := false
+	switch r.Kind {
+	case OpRead:
+		fail = f.ReadFailEvery > 0 && f.rng.Intn(f.ReadFailEvery) == 0
+		if fail {
+			f.ReadFails++
+		}
+	case OpWrite:
+		fail = f.WriteFailEvery > 0 && f.rng.Intn(f.WriteFailEvery) == 0
+		if fail {
+			f.WriteFails++
+		}
+	}
+	if fail {
+		inner := r.Done
+		r.Done = func(r *Request) {
+			r.MediaErr = true
+			r.Done = inner
+			inner(r)
+		}
+	}
+	f.Inner.Submit(r)
+}

@@ -1,0 +1,347 @@
+package ssd
+
+import "fmt"
+
+// invalidPage marks an unmapped logical or physical page.
+const invalidPage = ^uint32(0)
+
+// ftl is a page-mapped flash translation layer. Physical pages are numbered
+// die-major: phys = (die*blocksPerDie + blockInDie)*pagesPerBlock + slot.
+// The FTL is pure bookkeeping — it reports the GC work (page moves, erases)
+// a call caused and the device converts that into die-timeline occupancy,
+// which lets the pre-conditioners reuse the same code without timing.
+type ftl struct {
+	p            Params
+	blocksPerDie int
+	ppb          int
+	gcTrigger    int // effective per-die free-block low watermark
+
+	l2p []uint32 // logical -> physical
+	p2l []uint32 // physical -> logical (for GC relocation)
+
+	valid    []uint16 // per block: valid page count
+	writePtr []uint16 // per block: next free slot (== ppb when full/closed)
+	erases   []uint32 // per block: erase count
+
+	dies []dieState
+
+	// Cumulative counters.
+	hostPages   uint64 // pages written by the host
+	gcMoved     uint64 // pages relocated by GC
+	gcErases    uint64 // blocks erased
+	gcReclaims  uint64 // GC victim selections
+	mappedPages uint64
+}
+
+type dieState struct {
+	free   []uint32 // free block ids (global)
+	open   uint32   // host open block
+	gcOpen uint32   // relocation open block
+}
+
+// gcWork reports the flash work a mutation caused beyond the page program
+// itself, so the caller can charge time for it.
+type gcWork struct {
+	moved  int // pages relocated (each costs a read + a program)
+	erases int // blocks erased
+}
+
+func (w *gcWork) add(o gcWork) { w.moved += o.moved; w.erases += o.erases }
+
+func newFTL(p Params) *ftl {
+	dies := p.Dies()
+	bpd := p.BlocksPerDie()
+	nblocks := dies * bpd
+	npages := nblocks * p.PagesPerBlock
+	// The configured watermark assumes full-size over-provisioning; on a
+	// small device (tests) it could exceed the OP slack itself and trigger
+	// GC on a freshly filled drive, so clamp it to half the slack.
+	logicalPerDie := (p.LogicalPages() + dies*p.PagesPerBlock - 1) / (dies * p.PagesPerBlock)
+	trigger := p.GCTriggerFree
+	if slack := bpd - logicalPerDie - 2; trigger > slack/2 {
+		trigger = slack / 2
+	}
+	if trigger < 2 {
+		trigger = 2
+	}
+	f := &ftl{
+		p:            p,
+		blocksPerDie: bpd,
+		ppb:          p.PagesPerBlock,
+		gcTrigger:    trigger,
+		l2p:          make([]uint32, p.LogicalPages()),
+		p2l:          make([]uint32, npages),
+		valid:        make([]uint16, nblocks),
+		writePtr:     make([]uint16, nblocks),
+		erases:       make([]uint32, nblocks),
+		dies:         make([]dieState, dies),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = invalidPage
+	}
+	for i := range f.p2l {
+		f.p2l[i] = invalidPage
+	}
+	for d := range f.dies {
+		ds := &f.dies[d]
+		base := uint32(d * bpd)
+		// Reserve block 0 as the host open block and block 1 as the GC open
+		// block; the rest start free.
+		ds.open = base
+		ds.gcOpen = base + 1
+		for b := 2; b < bpd; b++ {
+			ds.free = append(ds.free, base+uint32(b))
+		}
+	}
+	return f
+}
+
+// dieOfBlock returns the die owning a global block id.
+func (f *ftl) dieOfBlock(b uint32) int { return int(b) / f.blocksPerDie }
+
+// dieOfPhys returns the die holding a physical page.
+func (f *ftl) dieOfPhys(phys uint32) int {
+	return int(phys) / (f.blocksPerDie * f.ppb)
+}
+
+// channelOfDie maps a die to its NAND channel.
+func (f *ftl) channelOfDie(die int) int { return die % f.p.Channels }
+
+// lookup returns the physical page for a logical page, or invalidPage.
+func (f *ftl) lookup(logical uint32) uint32 { return f.l2p[logical] }
+
+// invalidate clears the current mapping of a logical page, if any.
+func (f *ftl) invalidate(logical uint32) {
+	old := f.l2p[logical]
+	if old == invalidPage {
+		return
+	}
+	f.l2p[logical] = invalidPage
+	f.p2l[old] = invalidPage
+	f.valid[old/uint32(f.ppb)]--
+	f.mappedPages--
+}
+
+// writePage maps a logical page to a freshly allocated physical page on
+// die, invalidating any previous mapping, and reports the GC work incurred.
+func (f *ftl) writePage(logical uint32, die int) (gcWork, error) {
+	phys, work, err := f.allocHost(die)
+	if err != nil {
+		return work, err
+	}
+	f.invalidate(logical)
+	f.l2p[logical] = phys
+	f.p2l[phys] = logical
+	f.valid[phys/uint32(f.ppb)]++
+	f.mappedPages++
+	f.hostPages++
+	return work, nil
+}
+
+// allocHost takes the next free slot in the die's host open block, rotating
+// to a fresh block (and possibly garbage-collecting) when it fills.
+func (f *ftl) allocHost(die int) (uint32, gcWork, error) {
+	var work gcWork
+	ds := &f.dies[die]
+	if f.writePtr[ds.open] == uint16(f.ppb) {
+		blk, w, err := f.popFree(die)
+		work.add(w)
+		if err != nil {
+			return 0, work, err
+		}
+		ds.open = blk
+	}
+	phys := ds.open*uint32(f.ppb) + uint32(f.writePtr[ds.open])
+	f.writePtr[ds.open]++
+	return phys, work, nil
+}
+
+// popFree removes one free block from the die, running GC first when the
+// die is at its low watermark.
+func (f *ftl) popFree(die int) (uint32, gcWork, error) {
+	var work gcWork
+	ds := &f.dies[die]
+	if len(ds.free) <= f.gcTrigger {
+		work.add(f.collect(die))
+	}
+	if len(ds.free) == 0 {
+		return 0, work, fmt.Errorf("ssd: die %d out of free blocks (device overfull)", die)
+	}
+	blk := ds.free[len(ds.free)-1]
+	ds.free = ds.free[:len(ds.free)-1]
+	return blk, work, nil
+}
+
+// collect runs greedy garbage collection on a die until it is back above
+// the low watermark or no reclaimable victim remains.
+func (f *ftl) collect(die int) gcWork {
+	var work gcWork
+	ds := &f.dies[die]
+	for len(ds.free) <= f.gcTrigger {
+		victim, ok := f.pickVictim(die)
+		if !ok {
+			break
+		}
+		// Relocation feasibility: the victim's valid pages must fit in the
+		// GC open block's remaining slots plus the free pool, or the die
+		// cannot safely reclaim right now.
+		slack := int(uint16(f.ppb)-f.writePtr[ds.gcOpen]) + len(ds.free)*f.ppb
+		if slack < int(f.valid[victim]) {
+			break
+		}
+		work.add(f.reclaim(die, victim))
+	}
+	return work
+}
+
+// pickVictim returns the full block with the fewest valid pages on the die,
+// excluding the open blocks. A completely valid victim is useless (GC would
+// tread water), so it also requires valid < pagesPerBlock.
+func (f *ftl) pickVictim(die int) (uint32, bool) {
+	ds := &f.dies[die]
+	base := uint32(die * f.blocksPerDie)
+	best := invalidPage
+	bestValid := uint16(f.ppb) // must strictly improve
+	for b := base; b < base+uint32(f.blocksPerDie); b++ {
+		if b == ds.open || b == ds.gcOpen {
+			continue
+		}
+		if f.writePtr[b] != uint16(f.ppb) {
+			continue // not full: free or partially written open remnant
+		}
+		if v := f.valid[b]; v < bestValid {
+			best, bestValid = b, v
+		}
+	}
+	return best, best != invalidPage
+}
+
+// reclaim relocates the victim's valid pages into the die's GC open block
+// and erases it.
+func (f *ftl) reclaim(die int, victim uint32) gcWork {
+	var work gcWork
+	ds := &f.dies[die]
+	start := victim * uint32(f.ppb)
+	for slot := uint32(0); slot < uint32(f.ppb); slot++ {
+		phys := start + slot
+		logical := f.p2l[phys]
+		if logical == invalidPage {
+			continue
+		}
+		dst := f.allocGC(die, &work)
+		f.p2l[phys] = invalidPage
+		f.l2p[logical] = dst
+		f.p2l[dst] = logical
+		f.valid[dst/uint32(f.ppb)]++
+		work.moved++
+		f.gcMoved++
+	}
+	f.valid[victim] = 0
+	f.writePtr[victim] = 0
+	f.erases[victim]++
+	f.gcErases++
+	f.gcReclaims++
+	ds.free = append(ds.free, victim)
+	work.erases++
+	return work
+}
+
+// allocGC takes the next slot in the GC open block; it pulls directly from
+// the free list when the block fills (never recursing into GC). The free
+// list cannot be empty here: reclaim is only invoked while collecting, and
+// every reclaim returns its victim to the free list before the GC open
+// block can fill again.
+func (f *ftl) allocGC(die int, work *gcWork) uint32 {
+	ds := &f.dies[die]
+	if f.writePtr[ds.gcOpen] == uint16(f.ppb) {
+		if len(ds.free) == 0 {
+			panic("ssd: GC starved of free blocks (feasibility guard bypassed)")
+		}
+		ds.gcOpen = ds.free[len(ds.free)-1]
+		ds.free = ds.free[:len(ds.free)-1]
+	}
+	phys := ds.gcOpen*uint32(f.ppb) + uint32(f.writePtr[ds.gcOpen])
+	f.writePtr[ds.gcOpen]++
+	return phys
+}
+
+// freeOf returns the die's free block count.
+func (f *ftl) freeOf(die int) int { return len(f.dies[die].free) }
+
+// dieWritable reports whether the die can accept new host writes without
+// risking allocation starvation: either it has free headroom, or garbage
+// collection on it can still make progress.
+func (f *ftl) dieWritable(die int) bool {
+	ds := &f.dies[die]
+	if len(ds.free) > 2 {
+		return true
+	}
+	if len(ds.free) == 0 {
+		return false
+	}
+	victim, ok := f.pickVictim(die)
+	if !ok {
+		return false
+	}
+	slack := int(uint16(f.ppb)-f.writePtr[ds.gcOpen]) + len(ds.free)*f.ppb
+	return slack >= int(f.valid[victim])
+}
+
+// trim invalidates a span of logical pages (the blobstore frees blobs with
+// it). It reports nothing to charge: trims are metadata-only.
+func (f *ftl) trim(first, count uint32) {
+	for i := uint32(0); i < count; i++ {
+		f.invalidate(first + i)
+	}
+}
+
+// freeBlocks returns the total free blocks across dies (for tests/stats).
+func (f *ftl) freeBlocks() int {
+	n := 0
+	for d := range f.dies {
+		n += len(f.dies[d].free)
+	}
+	return n
+}
+
+// writeAmplification returns (host+gc)/host page programs so far.
+func (f *ftl) writeAmplification() float64 {
+	if f.hostPages == 0 {
+		return 1
+	}
+	return float64(f.hostPages+f.gcMoved) / float64(f.hostPages)
+}
+
+// checkInvariants validates the mapping bidirectionality and valid counts;
+// used by property tests. It is O(pages).
+func (f *ftl) checkInvariants() error {
+	validCount := make([]uint16, len(f.valid))
+	mapped := uint64(0)
+	for l, phys := range f.l2p {
+		if phys == invalidPage {
+			continue
+		}
+		if f.p2l[phys] != uint32(l) {
+			return fmt.Errorf("ftl: l2p/p2l mismatch at logical %d", l)
+		}
+		validCount[phys/uint32(f.ppb)]++
+		mapped++
+	}
+	for p, l := range f.p2l {
+		if l != invalidPage && f.l2p[l] != uint32(p) {
+			return fmt.Errorf("ftl: p2l points at logical %d not mapped back", l)
+		}
+	}
+	for b, v := range validCount {
+		if f.valid[b] != v {
+			return fmt.Errorf("ftl: block %d valid count %d, recount %d", b, f.valid[b], v)
+		}
+		if v > 0 && f.writePtr[b] == 0 {
+			return fmt.Errorf("ftl: block %d has valid pages but zero write pointer", b)
+		}
+	}
+	if mapped != f.mappedPages {
+		return fmt.Errorf("ftl: mappedPages %d, recount %d", f.mappedPages, mapped)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package ssd
+
+import "gimbal/internal/sim"
+
+// Null is the NULL block device of §5.7: it performs no IO and completes
+// every request after a fixed (possibly zero) delay. Table 1b uses it to
+// measure the pure software overhead of the target pipelines.
+type Null struct {
+	sched    sim.Scheduler
+	capacity int64
+	delay    int64
+}
+
+// NewNull returns a NULL device of the given capacity completing requests
+// after delay nanoseconds.
+func NewNull(sched sim.Scheduler, capacity, delay int64) *Null {
+	return &Null{sched: sched, capacity: capacity, delay: delay}
+}
+
+// Capacity implements Device.
+func (n *Null) Capacity() int64 { return n.capacity }
+
+// Submit implements Device.
+func (n *Null) Submit(r *Request) {
+	r.SubmitTime = n.sched.Now()
+	if n.delay == 0 {
+		r.CompleteTime = r.SubmitTime
+		r.Done(r)
+		return
+	}
+	n.sched.After(n.delay, func() {
+		r.CompleteTime = n.sched.Now()
+		r.Done(r)
+	})
+}

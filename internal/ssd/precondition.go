@@ -1,0 +1,109 @@
+package ssd
+
+import "gimbal/internal/sim"
+
+// Condition names an SSD pre-conditioning state from the paper (§5.1).
+type Condition int
+
+// Pre-conditioning states.
+const (
+	// Fresh leaves the device unwritten (factory state).
+	Fresh Condition = iota
+	// Clean corresponds to a device pre-conditioned with 128KB sequential
+	// writes: full mapping, sequential layout, GC victims come up empty.
+	Clean
+	// Fragmented corresponds to hours of sustained 4KB random overwrite:
+	// full mapping with uniformly scattered valid pages, minimal free
+	// blocks, and expensive GC on every new write.
+	Fragmented
+)
+
+// String names the condition.
+func (c Condition) String() string {
+	switch c {
+	case Fresh:
+		return "fresh"
+	case Clean:
+		return "clean"
+	case Fragmented:
+		return "fragmented"
+	default:
+		return "condition(?)"
+	}
+}
+
+// Precondition fast-forwards the device into the requested state by running
+// the FTL write path directly (no timing), exactly as hours of fio
+// pre-conditioning would, then clears timelines, buffer, and counters so
+// experiments start from a quiescent device. The rng drives the random
+// overwrite pass for the fragmented state.
+func (s *SSD) Precondition(c Condition, rng *sim.RNG) {
+	if c == Fresh {
+		return
+	}
+	batch := s.p.ProgramPages
+	npages := s.p.LogicalPages()
+	// Sequential fill: stripe program batches across dies, mirroring
+	// programBatch's allocation order.
+	s.fillSequential(0, npages, batch)
+	if c == Fragmented {
+		if rng == nil {
+			rng = sim.NewRNG(1)
+		}
+		// Random single-page overwrites until 1.5x the device capacity has
+		// been rewritten — enough to reach the steady fragmented state where
+		// every GC victim carries substantial valid data.
+		writes := npages + npages/2
+		for i := 0; i < writes; i++ {
+			logical := uint32(rng.Intn(npages))
+			if _, err := s.ftl.writePage(logical, s.pickFlushDie()); err != nil {
+				panic(err)
+			}
+		}
+	}
+	s.resetAfterPrecondition()
+}
+
+func (s *SSD) fillSequential(first, pages, batch int) {
+	for done := 0; done < pages; {
+		n := batch
+		if rem := pages - done; rem < n {
+			n = rem
+		}
+		die := s.pickFlushDie()
+		for i := 0; i < n; i++ {
+			if _, err := s.ftl.writePage(uint32(first+done+i), die); err != nil {
+				panic(err)
+			}
+		}
+		done += n
+	}
+}
+
+func (s *SSD) resetAfterPrecondition() {
+	for i := range s.dieBusy {
+		s.dieBusy[i] = 0
+	}
+	for i := range s.chanBusy {
+		s.chanBusy[i] = 0
+	}
+	for i := range s.gcFence {
+		s.gcFence[i] = 0
+	}
+	for i := range s.progBusy {
+		s.progBusy[i] = 0
+	}
+	for i := range s.lastRow {
+		s.lastRow[i] = ^uint32(0) >> 1
+	}
+	s.bufOccupancy = 0
+	s.bufPages = map[uint32]int{}
+	s.lastFlushEnd = 0
+	s.stats = Stats{}
+	// Reset cumulative FTL counters so measured write amplification
+	// reflects the experiment, not the pre-conditioning pass.
+	s.ftl.hostPages = 0
+	s.ftl.gcMoved = 0
+	s.ftl.gcErases = 0
+	s.ftl.gcReclaims = 0
+}

@@ -1,0 +1,24 @@
+package ssd
+
+import (
+	"testing"
+
+	"gimbal/internal/sim"
+)
+
+func TestSequentialReadRegisterHits(t *testing.T) {
+	loop := sim.NewLoop()
+	dev := New(loop, DCT983())
+	dev.Precondition(Clean, sim.NewRNG(1))
+	// Sequential 4KB reads at QD1: consecutive pages share NAND rows, so
+	// most reads skip tR and latency collapses toward the transfer time.
+	bwSeq, latSeq := measureBW(t, dev, loop, sim.NewRNG(2), OpRead, 4096, 32, true, 200*sim.Millisecond)
+	loop2 := sim.NewLoop()
+	dev2 := New(loop2, DCT983())
+	dev2.Precondition(Clean, sim.NewRNG(1))
+	bwRnd, latRnd := measureBW(t, dev2, loop2, sim.NewRNG(2), OpRead, 4096, 32, false, 200*sim.Millisecond)
+	t.Logf("4KB QD32: seq %.0f MB/s (%.0fus) vs rnd %.0f MB/s (%.0fus)", bwSeq, latSeq, bwRnd, latRnd)
+	if bwSeq <= bwRnd {
+		t.Fatalf("sequential reads (%.0f) should beat random (%.0f) via register hits", bwSeq, bwRnd)
+	}
+}

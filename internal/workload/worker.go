@@ -1,0 +1,190 @@
+// Package workload provides the synthetic load generators of the
+// evaluation: fio-style closed/open-loop block workers (IO size, read/write
+// mix, random/sequential, queue depth, rate caps, priority tags), Zipfian
+// and latest key distributions, and the YCSB A/B/C/D/F drivers used by the
+// key-value store experiments.
+package workload
+
+import (
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/stats"
+)
+
+// Target accepts IOs and eventually invokes io.Done. Implementations: the
+// direct scheduler adapter below, and the fabric initiator session (which
+// adds the credit gate and network).
+type Target interface {
+	Submit(io *nvme.IO)
+}
+
+// SchedTarget adapts an nvme.Scheduler as a Target (no transport, no credit
+// gate) for unit tests and switch-level experiments.
+type SchedTarget struct{ S nvme.Scheduler }
+
+// Submit implements Target.
+func (t SchedTarget) Submit(io *nvme.IO) { t.S.Enqueue(io) }
+
+// Profile describes one fio-like stream.
+type Profile struct {
+	Name      string
+	ReadRatio float64 // 1 = read-only, 0 = write-only
+	IOSize    int
+	QD        int  // concurrent IOs (closed loop)
+	Seq       bool // sequential vs uniform random offsets
+	Priority  nvme.Priority
+
+	// RateLimitBps caps the stream's submission rate (0 = unlimited);
+	// used by Fig 9's rate-limited workers.
+	RateLimitBps int64
+
+	// Span restricts offsets to [Base, Base+Span) (0 = whole device).
+	Base int64
+	Span int64
+}
+
+// Worker drives one Profile against a Target inside a simulation loop,
+// recording per-class latency histograms and throughput.
+type Worker struct {
+	loop   *sim.Loop
+	rng    *sim.RNG
+	p      Profile
+	tenant *nvme.Tenant
+	target Target
+
+	cursor  int64
+	stopAt  int64
+	paceAt  int64 // earliest next submission under the rate cap
+	stopped bool
+
+	// Measurement state (reset after warmup).
+	ReadLat  *stats.Histogram
+	WriteLat *stats.Histogram
+	Meter    *stats.Meter
+	inflight int
+
+	// OnDone, if set, observes every completion (harness time series).
+	OnDone func(io *nvme.IO, cpl nvme.Completion)
+}
+
+// NewWorker builds a worker. Span must be a positive multiple of IOSize if
+// set; when zero the caller must call SetSpan before Start.
+func NewWorker(loop *sim.Loop, rng *sim.RNG, p Profile, tenant *nvme.Tenant, target Target) *Worker {
+	return &Worker{
+		loop:     loop,
+		rng:      rng,
+		p:        p,
+		tenant:   tenant,
+		target:   target,
+		ReadLat:  stats.NewHistogram(),
+		WriteLat: stats.NewHistogram(),
+		Meter:    stats.NewMeter(loop.Now()),
+	}
+}
+
+// Tenant returns the worker's tenant identity.
+func (w *Worker) Tenant() *nvme.Tenant { return w.tenant }
+
+// Profile returns the worker's profile.
+func (w *Worker) Profile() Profile { return w.p }
+
+// SetSpan sets the address range when it was not known at construction.
+func (w *Worker) SetSpan(base, span int64) { w.p.Base, w.p.Span = base, span }
+
+// Start begins the closed loop: QD submissions now, one replacement per
+// completion, until stopAt (then drains naturally).
+func (w *Worker) Start(stopAt int64) {
+	if w.p.Span <= 0 || w.p.IOSize <= 0 || w.p.QD <= 0 {
+		panic("workload: profile missing span/size/qd")
+	}
+	w.stopAt = stopAt
+	w.paceAt = w.loop.Now()
+	for i := 0; i < w.p.QD; i++ {
+		w.trySubmit()
+	}
+}
+
+// Stop ends submission immediately (dynamic workloads remove workers).
+func (w *Worker) Stop() { w.stopped = true }
+
+// ResetStats restarts measurement (end of warmup).
+func (w *Worker) ResetStats() {
+	w.ReadLat.Reset()
+	w.WriteLat.Reset()
+	w.Meter.Reset(w.loop.Now())
+}
+
+// Inflight returns the number of outstanding IOs.
+func (w *Worker) Inflight() int { return w.inflight }
+
+func (w *Worker) trySubmit() {
+	now := w.loop.Now()
+	if w.stopped || now >= w.stopAt {
+		return
+	}
+	if w.p.RateLimitBps > 0 && now < w.paceAt {
+		// Open-loop pacing: defer this submission slot.
+		at := w.paceAt
+		w.loop.At(at, func() { w.trySubmit() })
+		return
+	}
+	if w.p.RateLimitBps > 0 {
+		w.paceAt = max64(w.paceAt, now) + int64(w.p.IOSize)*1e9/w.p.RateLimitBps
+	}
+
+	op := nvme.OpRead
+	if w.p.ReadRatio < 1 && (w.p.ReadRatio == 0 || w.rng.Float64() >= w.p.ReadRatio) {
+		op = nvme.OpWrite
+	}
+	var off int64
+	if w.p.Seq {
+		off = w.p.Base + w.cursor
+		w.cursor += int64(w.p.IOSize)
+		if w.cursor+int64(w.p.IOSize) > w.p.Span {
+			w.cursor = 0
+		}
+	} else {
+		slots := w.p.Span / int64(w.p.IOSize)
+		off = w.p.Base + w.rng.Int63n(slots)*int64(w.p.IOSize)
+	}
+	io := &nvme.IO{
+		Op:       op,
+		Offset:   off,
+		Size:     w.p.IOSize,
+		Priority: w.p.Priority,
+		Tenant:   w.tenant,
+		Arrival:  now,
+		Done:     w.onDone,
+	}
+	w.inflight++
+	w.target.Submit(io)
+}
+
+func (w *Worker) onDone(io *nvme.IO, cpl nvme.Completion) {
+	w.inflight--
+	lat := w.loop.Now() - io.Arrival
+	if io.Op.IsWrite() {
+		w.WriteLat.Record(lat)
+	} else {
+		w.ReadLat.Record(lat)
+	}
+	w.Meter.Add(int64(io.Size))
+	if w.OnDone != nil {
+		w.OnDone(io, cpl)
+	}
+	w.trySubmit()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BandwidthMBps returns the worker's measured bandwidth since the last
+// stats reset.
+func (w *Worker) BandwidthMBps() float64 { return w.Meter.BandwidthMBps(w.loop.Now()) }
+
+// Stopped reports whether Stop was called or the stop time passed.
+func (w *Worker) Stopped() bool { return w.stopped || w.loop.Now() >= w.stopAt }
