@@ -25,7 +25,7 @@ import (
 func main() {
 	var (
 		exp    = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		format = flag.String("format", "table", "output format: table or csv")
+		format = flag.String("format", "table", "output format: table, csv, or json")
 		list   = flag.Bool("list", false, "list experiment ids")
 	)
 	flag.Parse()
@@ -56,12 +56,26 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
+		bench.DrainObsRuns() // discard blocks from any prior stray runs
 		results := e.Run()
-		for _, r := range results {
-			switch *format {
-			case "csv":
+		switch *format {
+		case "json":
+			report := &bench.Report{
+				Experiment:    e.ID,
+				Title:         e.Title,
+				Results:       results,
+				Observability: bench.DrainObsRuns(),
+			}
+			if err := report.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case "csv":
+			for _, r := range results {
 				r.WriteCSV(os.Stdout)
-			default:
+			}
+		default:
+			for _, r := range results {
 				r.WriteTable(os.Stdout)
 			}
 		}

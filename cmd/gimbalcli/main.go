@@ -5,13 +5,23 @@
 //
 //	gimbalcli -addr 127.0.0.1:4420 -op read -size 4096 -qd 32 -dur 10s
 //	gimbalcli -addr 127.0.0.1:4420 -op write -size 131072 -qd 4 -seq -dur 5s
+//
+// The stats subcommand renders the daemon's observability endpoint: it
+// samples /stats twice and reports per-tenant interval bandwidth, credit,
+// and the per-SSD control-loop state (write cost, target rate, latency
+// EWMAs).
+//
+//	gimbalcli stats -admin 127.0.0.1:9420 -interval 1s
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		statsMain(os.Args[2:])
+		return
+	}
 	var (
 		addr   = flag.String("addr", "127.0.0.1:4420", "target address")
 		scheme = flag.String("scheme", "gimbal", "client gate matching the target scheme")
@@ -108,4 +122,89 @@ func main() {
 	fmt.Printf("latency: avg %.0fus p50 %dus p99 %dus p99.9 %dus max %dus\n",
 		hist.Mean()/1e3, hist.P50()/1000, hist.P99()/1000, hist.P999()/1000, hist.Max()/1000)
 	fmt.Printf("errors: %d, credit headroom at exit: %d\n", errs.Load(), client.Headroom())
+}
+
+// fetchStats GETs and decodes one /stats snapshot.
+func fetchStats(url string) (*fabric.TargetStats, error) {
+	rsp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, rsp.Status)
+	}
+	var ts fabric.TargetStats
+	if err := json.NewDecoder(rsp.Body).Decode(&ts); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}
+
+// statsMain implements `gimbalcli stats`: two /stats samples an interval
+// apart, rendered as per-SSD control-loop state plus per-tenant interval
+// bandwidth, IOPS, credit, and live fairness.
+func statsMain(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	var (
+		admin    = fs.String("admin", "127.0.0.1:9420", "gimbald observability address")
+		interval = fs.Duration("interval", time.Second, "bandwidth sampling interval")
+	)
+	fs.Parse(args)
+	url := "http://" + *admin + "/stats"
+
+	before, err := fetchStats(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(*interval)
+	after, err := fetchStats(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index the first sample's per-tenant byte counts for interval rates.
+	type key struct {
+		ssd    int
+		tenant string
+	}
+	prevBytes := map[key]int64{}
+	prevOps := map[key]int64{}
+	for _, s := range before.SSDs {
+		for _, t := range s.Tenants {
+			prevBytes[key{t.SSD, t.Tenant}] = t.Bytes
+			prevOps[key{t.SSD, t.Tenant}] = t.Ops
+		}
+	}
+	dt := float64(after.NowNs-before.NowNs) / 1e9
+	if dt <= 0 {
+		dt = interval.Seconds()
+	}
+
+	fmt.Printf("target: scheme=%s ssds=%d jain=%.3f (interval %.2fs)\n",
+		after.Scheme, len(after.SSDs), after.Jain, dt)
+	for _, s := range after.SSDs {
+		fmt.Printf("ssd %d:", s.SSD)
+		if s.WriteCost > 0 {
+			fmt.Printf(" write_cost=%.2f target=%.0fMB/s completion=%.0fMB/s ewma r/w=%.0f/%.0fus queued=%d",
+				s.WriteCost, s.TargetRateMBps, s.CompletionRateMBps,
+				s.ReadEWMAUs, s.WriteEWMAUs, s.Queued)
+		}
+		if s.Device != nil {
+			fmt.Printf(" WA=%.2f gc_pages=%d", s.Device.WriteAmp, s.Device.GCMovedPages)
+		}
+		fmt.Println()
+		if len(s.Tenants) == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s %10s %10s %8s %8s %8s\n",
+			"tenant", "MB/s", "IOPS", "credit", "f-util", "errors")
+		for _, t := range s.Tenants {
+			k := key{t.SSD, t.Tenant}
+			dBytes := float64(t.Bytes - prevBytes[k])
+			dOps := float64(t.Ops - prevOps[k])
+			fmt.Printf("  %-18s %10.1f %10.0f %8d %8.2f %8d\n",
+				t.Tenant, dBytes/1e6/dt, dOps/dt, t.Credit, t.FUtil, t.Errors)
+		}
+	}
 }

@@ -5,18 +5,32 @@
 //
 //	gimbald -listen 127.0.0.1:4420 -ssds 4 -scheme gimbal -cond fragmented
 //
-// Drive it with cmd/gimbalcli.
+// A second listener (-admin, default 127.0.0.1:9420) serves the
+// observability endpoint:
+//
+//	/metrics        Prometheus text format (control loop, SSD, fabric)
+//	/stats          JSON snapshot: per-tenant bandwidth, credits, write cost
+//	/trace          per-IO lifecycle traces (queue/pacing/device spans), JSONL
+//	/debug/pprof/   the standard Go profiler
+//
+// Drive it with cmd/gimbalcli; `gimbalcli stats` renders /stats.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"gimbal/internal/fabric"
+	"gimbal/internal/obs"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
 )
@@ -24,10 +38,13 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:4420", "listen address")
+		admin    = flag.String("admin", "127.0.0.1:9420", "observability endpoint address (empty disables)")
 		ssds     = flag.Int("ssds", 4, "number of simulated SSDs")
 		scheme   = flag.String("scheme", "gimbal", "scheduler: gimbal|vanilla|reflex|flashfq|parda")
 		cond     = flag.String("cond", "clean", "precondition: fresh|clean|fragmented")
 		capacity = flag.Int64("capacity", 2<<30, "per-SSD usable bytes")
+		traceCap = flag.Int("trace", 8192, "per-IO trace ring capacity (0 disables tracing)")
+		drain    = flag.Duration("drain", 3*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -59,18 +76,75 @@ func main() {
 		devs = append(devs, d)
 	}
 	target := fabric.NewTarget(rs, devs, fabric.DefaultTargetConfig(sch))
+
+	// Telemetry: registry gathered under the scheduler lock, plus the
+	// per-IO lifecycle trace ring.
+	reg := obs.NewRegistry()
+	reg.GatherLock = rs
+	var ring *obs.TraceRing
+	if *traceCap > 0 {
+		ring = obs.NewTraceRing(*traceCap)
+	}
+	rs.Lock()
+	target.AttachObs(reg, ring)
+	rs.Unlock()
+
 	srv, err := fabric.ServeTCP(rs, target, *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv.AttachObs(reg)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		mux := fabric.AdminMux(rs, target, reg, ring)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		adminSrv = &http.Server{Addr: *admin, Handler: mux}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin endpoint: %v", err)
+			}
+		}()
+	}
+
 	fmt.Printf("gimbald: %d x %s SSDs (%s) behind %q scheme, listening on %s\n",
 		*ssds, condition, byteSize(*capacity), sch, srv.Addr())
+	if *admin != "" {
+		fmt.Printf("gimbald: observability on http://%s (/metrics /stats /trace /debug/pprof)\n", *admin)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Println("shutting down")
-	srv.Close()
+	log.Printf("shutting down: draining in-flight IO (up to %s)", *drain)
+	if adminSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = adminSrv.Shutdown(ctx)
+		cancel()
+	}
+	if err := srv.Shutdown(*drain); err != nil {
+		log.Printf("listener close: %v", err)
+	}
+
+	// Final telemetry snapshot so a scrape gap around shutdown loses
+	// nothing: per-tenant totals and the registry, one JSON line each.
+	rs.Lock()
+	stats := target.StatsSnapshot()
+	rs.Unlock()
+	if b, err := json.Marshal(stats); err == nil {
+		log.Printf("final stats: %s", b)
+	}
+	if b, err := json.Marshal(reg.Snapshot()); err == nil {
+		log.Printf("final metrics: %s", b)
+	}
+	if ring != nil {
+		log.Printf("traced %d IOs (last %d retained)", ring.Total(), ring.Len())
+	}
+	log.Println("shutdown complete")
 }
 
 func byteSize(n int64) string {

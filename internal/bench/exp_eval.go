@@ -275,8 +275,8 @@ func runFig9() []*Result {
 		s.t = float64(now) / 1e9
 		dt := 1.0 // seconds per sample
 		for _, w := range r.Workers {
-			delta := w.Meter.Bytes - lastBytes[w]
-			lastBytes[w] = w.Meter.Bytes
+			delta := w.Meter.Bytes() - lastBytes[w]
+			lastBytes[w] = w.Meter.Bytes()
 			bw := float64(delta) / 1e6 / dt
 			if w.Profile().Name == "R" {
 				if !wStopped(w) {

@@ -5,6 +5,7 @@ import (
 
 	"gimbal/internal/fabric"
 	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
 	"gimbal/internal/workload"
@@ -50,6 +51,9 @@ type FioRun struct {
 	Workers  []*workload.Worker
 	Sessions []*fabric.Session
 	StopAt   int64
+	// Reg is the run's metrics registry (attached before any tenant
+	// registers, so per-tenant instruments cover the whole run).
+	Reg *obs.Registry
 }
 
 // NewFioRun builds the rig: devices, target, sessions, and workers (not
@@ -84,7 +88,8 @@ func NewFioRun(cfg FioConfig) *FioRun {
 	}
 	target := fabric.NewTarget(loop, devs, tcfg)
 
-	r := &FioRun{Loop: loop, Target: target, Devices: ssds}
+	r := &FioRun{Loop: loop, Target: target, Devices: ssds, Reg: obs.NewRegistry()}
+	target.AttachObs(r.Reg, nil)
 	for i, spec := range cfg.Specs {
 		r.AddWorker(spec, rng.Fork(), fmt.Sprintf("%s-%d", spec.Name, i))
 	}
@@ -144,6 +149,7 @@ func Execute(cfg FioConfig) *FioRun {
 	}
 	r.Loop.RunUntil(stop)
 	r.Loop.Run() // drain in-flight completions (daemon timers don't hold it)
+	recordObsRun(cfg, r)
 	return r
 }
 

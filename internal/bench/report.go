@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -14,11 +15,11 @@ import (
 // Result is one experiment's output: a titled table plus optional notes
 // comparing against the paper's reported numbers.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -76,6 +77,22 @@ func (r *Result) WriteCSV(w io.Writer) {
 	for _, row := range r.Rows {
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
+}
+
+// Report is one experiment's JSON document: its result tables plus the
+// observability blocks of every harness execution the experiment ran.
+type Report struct {
+	Experiment    string    `json:"experiment"`
+	Title         string    `json:"title"`
+	Results       []*Result `json:"results"`
+	Observability []ObsRun  `json:"observability,omitempty"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rp *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rp)
 }
 
 // Experiment is a registered runner.

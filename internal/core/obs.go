@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strconv"
+
+	"gimbal/internal/core/latmon"
+	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
+	"gimbal/internal/stats"
+)
+
+// switchObs bundles the instruments one Switch reports into. It exists
+// only when a registry is attached; every hot-path hook nil-checks the
+// pointer, so an unobserved switch pays a single predictable branch
+// (BenchmarkSwitchSubmit measures this).
+type switchObs struct {
+	pacingStalls *obs.Counter
+	costTicks    *obs.Counter
+	costChanges  *obs.Counter
+
+	// Congestion-state transition counters, one per (class, new state).
+	readTrans  [4]*obs.Counter
+	writeTrans [4]*obs.Counter
+	readState  latmon.State
+	writeState latmon.State
+
+	// Span histograms (ns).
+	queueDelay  *stats.Histogram
+	pacingStall *stats.Histogram
+	readDevLat  *stats.Histogram
+	writeDevLat *stats.Histogram
+
+	ring *obs.TraceRing
+	ssd  int
+}
+
+// AttachObs registers the switch's instruments into reg under an ssd label
+// and starts feeding them; ring, when non-nil, receives a per-IO lifecycle
+// trace (arrival → admit → submit → device done → completion sent). Call
+// once, before traffic, from scheduler context.
+func (sw *Switch) AttachObs(reg *obs.Registry, ring *obs.TraceRing, ssdIdx int) {
+	lb := obs.L("ssd", strconv.Itoa(ssdIdx))
+	o := &switchObs{
+		pacingStalls: reg.Counter("gimbal_pacing_stalls_total", lb),
+		costTicks:    reg.Counter("gimbal_cost_ticks_total", lb),
+		costChanges:  reg.Counter("gimbal_cost_changes_total", lb),
+		queueDelay:   reg.Histogram("gimbal_queue_delay_ns", lb),
+		pacingStall:  reg.Histogram("gimbal_pacing_stall_ns", lb),
+		readDevLat:   reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read")),
+		writeDevLat:  reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "write")),
+		ring:         ring,
+		ssd:          ssdIdx,
+		readState:    latmon.Underutilized,
+		writeState:   latmon.Underutilized,
+	}
+	for st := latmon.Underutilized; st <= latmon.Overloaded; st++ {
+		rl := obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read", "state", st.String())
+		wl := obs.L("ssd", strconv.Itoa(ssdIdx), "op", "write", "state", st.String())
+		o.readTrans[st] = reg.Counter("gimbal_congestion_transitions_total", rl)
+		o.writeTrans[st] = reg.Counter("gimbal_congestion_transitions_total", wl)
+	}
+
+	reg.Help("gimbal_pacing_stalls_total", "IOs that waited for rate-pacer tokens")
+	reg.Help("gimbal_congestion_transitions_total", "latency-monitor congestion state changes")
+	reg.Help("gimbal_device_latency_ns", "raw device service time")
+	reg.Help("gimbal_queue_delay_ns", "scheduler queueing delay (arrival to DRR admit)")
+	reg.Help("gimbal_pacing_stall_ns", "token pacing delay (DRR admit to device submit)")
+
+	reg.GaugeFunc("gimbal_submits_total", lb, func() float64 { return float64(sw.Submits()) })
+	reg.GaugeFunc("gimbal_completions_total", lb, func() float64 { return float64(sw.Completions()) })
+	reg.GaugeFunc("gimbal_write_cost", lb, func() float64 { return sw.cost.Cost() })
+	reg.GaugeFunc("gimbal_target_rate_bps", lb, func() float64 { return sw.rate.TargetRate() })
+	reg.GaugeFunc("gimbal_completion_rate_bps", lb, func() float64 { return sw.rate.CompletionRate() })
+	reg.GaugeFunc("gimbal_read_latency_ewma_ns", lb, func() float64 { return sw.rmon.EWMA() })
+	reg.GaugeFunc("gimbal_write_latency_ewma_ns", lb, func() float64 { return sw.wmon.EWMA() })
+	reg.GaugeFunc("gimbal_read_latency_threshold_ns", lb, func() float64 { return sw.rmon.Threshold() })
+	reg.GaugeFunc("gimbal_write_latency_threshold_ns", lb, func() float64 { return sw.wmon.Threshold() })
+	reg.GaugeFunc("gimbal_drr_queued", lb, func() float64 { return float64(sw.drr.Queued()) })
+	reg.GaugeFunc("gimbal_drr_active_tenants", lb, func() float64 { return float64(sw.drr.ActiveTenants()) })
+	reg.GaugeFunc("gimbal_drr_deferred_tenants", lb, func() float64 { return float64(sw.drr.DeferredTenants()) })
+	tokens := func(write bool) float64 {
+		r, w := sw.rate.Tokens()
+		if write {
+			return w
+		}
+		return r
+	}
+	reg.GaugeFunc("gimbal_tokens_bytes", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read"), func() float64 { return tokens(false) })
+	reg.GaugeFunc("gimbal_tokens_bytes", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "write"), func() float64 { return tokens(true) })
+
+	sw.obs = o
+}
+
+// onState counts congestion-state transitions per IO class.
+func (o *switchObs) onState(isWrite bool, st latmon.State) {
+	if isWrite {
+		if st != o.writeState {
+			o.writeState = st
+			o.writeTrans[st].Inc()
+		}
+		return
+	}
+	if st != o.readState {
+		o.readState = st
+		o.readTrans[st].Inc()
+	}
+}
+
+// onComplete records the span histograms and the lifecycle trace for one
+// finished IO; doneAt is when the completion left the switch.
+func (o *switchObs) onComplete(io *nvme.IO, doneAt int64) {
+	admit := io.Admit
+	if admit == 0 {
+		admit = io.DevSubmit
+	}
+	o.queueDelay.Record(admit - io.Arrival)
+	o.pacingStall.Record(io.DevSubmit - admit)
+	if io.Op.IsWrite() {
+		o.writeDevLat.Record(io.DeviceLatency())
+	} else {
+		o.readDevLat.Record(io.DeviceLatency())
+	}
+	if o.ring != nil {
+		name := ""
+		if io.Tenant != nil {
+			name = io.Tenant.Name
+		}
+		o.ring.Append(obs.IOTrace{
+			SSD:     o.ssd,
+			Tenant:  name,
+			Op:      io.Op.String(),
+			Size:    io.Size,
+			Arrival: io.Arrival,
+			Admit:   admit,
+			Submit:  io.DevSubmit,
+			DevDone: io.DevDone,
+			Done:    doneAt,
+		})
+	}
+}

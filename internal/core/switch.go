@@ -7,6 +7,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"gimbal/internal/core/latmon"
 	"gimbal/internal/core/ratectl"
 	"gimbal/internal/core/sched"
@@ -72,9 +74,15 @@ type Switch struct {
 	writesInPeriod int
 	pumping        bool
 
-	// Counters for the overhead accounting (Table 1).
-	Submits     int64
-	Completions int64
+	// Counters for the overhead accounting (Table 1). Atomic because the
+	// live endpoint reads them from scrape goroutines while completions
+	// land on RealScheduler timer goroutines.
+	submits     atomic.Int64
+	completions atomic.Int64
+
+	// obs is the attached telemetry sink; nil (the default) keeps every
+	// instrumentation hook on a one-branch fast path.
+	obs *switchObs
 }
 
 // New builds a switch over the device.
@@ -145,10 +153,16 @@ func (sw *Switch) pump() {
 		if io == nil {
 			return
 		}
+		if io.Admit == 0 {
+			io.Admit = now // won its DRR round; any further wait is pacing
+		}
 		isWrite := io.Op.IsWrite()
 		if !sw.cfg.DisableCongestionControl && !sw.rate.TryConsume(isWrite, io.Size) {
 			// Token-limited: arm a timer for when the refill covers the
 			// deficit, instead of busy-polling.
+			if sw.obs != nil {
+				sw.obs.pacingStalls.Inc()
+			}
 			need := sw.rate.Deficit(isWrite, io.Size)
 			wait := sw.rate.NanosUntil(need, isWrite, sw.cost.Cost())
 			if wait < sim.Microsecond {
@@ -158,7 +172,7 @@ func (sw *Switch) pump() {
 			return
 		}
 		sw.drr.Commit(io)
-		sw.Submits++
+		sw.submits.Add(1)
 		sw.sub.Submit(io, sw.onDeviceDone)
 	}
 }
@@ -167,19 +181,26 @@ func (sw *Switch) pump() {
 // congestion state, adjust the rate, refresh the tenant credit, and send
 // the completion (Algorithm 1 Completion).
 func (sw *Switch) onDeviceDone(io *nvme.IO) {
-	sw.Completions++
+	sw.completions.Add(1)
 	lat := io.DeviceLatency()
+	isWrite := io.Op.IsWrite()
 	mon := sw.rmon
-	if io.Op.IsWrite() {
+	if isWrite {
 		mon = sw.wmon
 		sw.writesInPeriod++
 	}
 	state := mon.Update(lat)
+	if sw.obs != nil {
+		sw.obs.onState(isWrite, state)
+	}
 	if !sw.cfg.DisableCongestionControl {
 		sw.rate.OnCompletion(sw.clk.Now(), io.Size, state)
 	}
 	credit := sw.drr.Complete(io)
 	io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io), Credit: credit})
+	if sw.obs != nil {
+		sw.obs.onComplete(io, sw.clk.Now())
+	}
 	sw.pump()
 }
 
@@ -195,12 +216,19 @@ func (sw *Switch) costTick() {
 	if sw.cfg.DisableDynamicCost {
 		return
 	}
+	if sw.obs != nil {
+		sw.obs.costTicks.Inc()
+	}
 	if sw.writesInPeriod == 0 || !sw.wmon.Initialized() {
 		return
 	}
 	sw.writesInPeriod = 0
 	calm := sw.wmon.EWMA() < float64(sw.cfg.Latency.ThreshMin)
+	before := sw.cost.Cost()
 	sw.cost.Update(calm)
+	if sw.obs != nil && sw.cost.Cost() != before {
+		sw.obs.costChanges.Inc()
+	}
 	// A cost change shifts the DRR weighting, which may unblock work.
 	sw.pump()
 }
@@ -219,6 +247,12 @@ func (sw *Switch) View() View {
 		WriteEWMAUs:       sw.wmon.EWMA() / 1e3,
 	}
 }
+
+// Submits returns the number of IOs dispatched to the device.
+func (sw *Switch) Submits() int64 { return sw.submits.Load() }
+
+// Completions returns the number of device completions processed.
+func (sw *Switch) Completions() int64 { return sw.completions.Load() }
 
 // Credit returns the current credit of a tenant (target-side view).
 func (sw *Switch) Credit(t *nvme.Tenant) uint32 { return sw.drr.Slots(t).Credit() }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// benchRig drives one IO at a time through a switch over a NULL device so
+// the measured cost is the switch's submit + completion path (the pure
+// software overhead of Table 1b), not the SSD model.
+func benchSwitchSubmit(b *testing.B, attach bool) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 1<<30, 0)
+	sw := New(loop, dev, DefaultConfig())
+	if attach {
+		reg := obs.NewRegistry()
+		sw.AttachObs(reg, obs.NewTraceRing(1024), 0)
+	}
+	tn := nvme.NewTenant(1, "bench")
+	sw.Register(tn)
+
+	done := 0
+	io := &nvme.IO{
+		Op:     nvme.OpRead,
+		Size:   4096,
+		Tenant: tn,
+		Done:   func(*nvme.IO, nvme.Completion) { done++ },
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		io.Offset = int64(i%1024) * 4096
+		io.Arrival, io.Admit, io.DevSubmit, io.DevDone = 0, 0, 0, 0
+		sw.Enqueue(io)
+		loop.Run()
+	}
+	b.StopTimer()
+	if done != b.N {
+		b.Fatalf("completed %d of %d", done, b.N)
+	}
+}
+
+// BenchmarkSwitchSubmit is the acceptance benchmark for the telemetry
+// layer: the NoSink variant (obs pointer nil) must stay within noise of
+// the pre-instrumentation submit path, and Attached bounds the cost of
+// full counter/histogram/trace recording.
+func BenchmarkSwitchSubmit(b *testing.B) {
+	b.Run("NoSink", func(b *testing.B) { benchSwitchSubmit(b, false) })
+	b.Run("Attached", func(b *testing.B) { benchSwitchSubmit(b, true) })
+}

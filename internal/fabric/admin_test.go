@@ -1,0 +1,159 @@
+package fabric
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// startObservedTCP builds a live Gimbal target with the full telemetry
+// stack attached, as cmd/gimbald does.
+func startObservedTCP(t *testing.T) (*TCPTarget, string, *obs.Registry, *obs.TraceRing) {
+	t.Helper()
+	rs := sim.NewRealScheduler()
+	p := ssd.DCT983()
+	p.UsableBytes = 256 << 20
+	dev := ssd.New(rs, p)
+	dev.Precondition(ssd.Clean, sim.NewRNG(1))
+	tgt := NewTarget(rs, []ssd.Device{dev}, DefaultTargetConfig(SchemeGimbal))
+
+	reg := obs.NewRegistry()
+	reg.GatherLock = rs
+	ring := obs.NewTraceRing(1024)
+	rs.Lock()
+	tgt.AttachObs(reg, ring)
+	rs.Unlock()
+
+	srv, err := ServeTCP(rs, tgt, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AttachObs(reg)
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr(), reg, ring
+}
+
+func TestAdminEndpointLiveTarget(t *testing.T) {
+	srv, addr, reg, ring := startObservedTCP(t)
+	c, err := DialTCP(addr, SchemeGimbal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 8192)
+	for i := 0; i < 64; i++ {
+		op, data := nvme.Opcode(nvme.OpRead), []byte(nil)
+		if i%4 == 0 {
+			op, data = nvme.OpWrite, payload
+		}
+		rsp, err := c.DoIO(op, 0, int64(i)*8192, 8192, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rsp.Status != nvme.StatusOK {
+			t.Fatalf("io %d status %v", i, rsp.Status)
+		}
+	}
+
+	mux := AdminMux(srv.RS, srv.target, reg, ring)
+
+	// /metrics: Prometheus text format with the pipeline instruments.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE gimbal_pacing_stalls_total counter",
+		`gimbal_submits_total{ssd="0"}`,
+		"fabric_rx_capsules_total 64",
+		"fabric_open_sessions 1",
+		`tenant_completed_ops_total{ssd="0",tenant=`,
+		"ssd_write_amplification",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /stats: JSON snapshot with per-tenant traffic and the virtual view.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var snap TargetStats
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad /stats JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Scheme != "gimbal" || len(snap.SSDs) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	s0 := snap.SSDs[0]
+	if s0.WriteCost < 1 || s0.Submits != 64 || s0.Completions != 64 {
+		t.Fatalf("ssd block: %+v", s0)
+	}
+	if len(s0.Tenants) != 1 || s0.Tenants[0].Ops != 64 || s0.Tenants[0].Bytes != 64*8192 {
+		t.Fatalf("tenant block: %+v", s0.Tenants)
+	}
+	if s0.Tenants[0].Credit == 0 {
+		t.Fatalf("tenant credit not exported: %+v", s0.Tenants[0])
+	}
+	if s0.Device == nil || s0.Device.ReadBytes == 0 {
+		t.Fatalf("device block: %+v", s0.Device)
+	}
+
+	// /trace: one JSONL line per traced IO with the lifecycle spans.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 64 {
+		t.Fatalf("/trace lines = %d, want 64", len(lines))
+	}
+	var tr struct {
+		Op       string `json:"op"`
+		DeviceNs int64  `json:"device_ns"`
+		QueueNs  int64  `json:"queue_ns"`
+		PacingNs int64  `json:"pacing_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DeviceNs <= 0 || tr.QueueNs < 0 || tr.PacingNs < 0 {
+		t.Fatalf("trace spans: %+v", tr)
+	}
+}
+
+func TestShutdownDrainsInflight(t *testing.T) {
+	srv, addr, _, _ := startObservedTCP(t)
+	c, err := DialTCP(addr, SchemeGimbal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Launch a burst and shut down while completions are still in flight.
+	var chans []<-chan callResult
+	for i := 0; i < 32; i++ {
+		chans = append(chans, c.Go(&CommandCapsule{
+			Opcode: nvme.OpRead, NSID: 0, SLBA: uint64(i), Length: 4096,
+		}))
+	}
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Inflight(); n != 0 {
+		t.Fatalf("inflight after shutdown = %d", n)
+	}
+	// Every submitted command either completed or failed cleanly on close;
+	// none may hang.
+	for i, ch := range chans {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("command %d hung after shutdown", i)
+		}
+	}
+}

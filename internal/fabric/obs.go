@@ -1,0 +1,87 @@
+package fabric
+
+import (
+	"strconv"
+
+	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
+	"gimbal/internal/ssd"
+)
+
+// tenantObs is the per-tenant accounting a target keeps when observed:
+// completed traffic counters plus the registration time that anchors mean
+// bandwidth.
+type tenantObs struct {
+	bytes  *obs.Counter
+	ops    *obs.Counter
+	errors *obs.Counter
+	since  int64
+	ssd    int
+	tenant *nvme.Tenant
+}
+
+// targetObs indexes tenant accounting for StatsSnapshot and the registry.
+type targetObs struct {
+	reg     *obs.Registry
+	tenants map[*nvme.Tenant]*tenantObs
+	order   []*tenantObs
+}
+
+// AttachObs registers the target's pipelines into reg: switch and device
+// instruments per SSD, and per-tenant completion counters (created lazily
+// as tenants register). Call before traffic; tenants that registered
+// earlier are picked up retroactively.
+func (t *Target) AttachObs(reg *obs.Registry, ring *obs.TraceRing) {
+	t.obs = &targetObs{reg: reg, tenants: map[*nvme.Tenant]*tenantObs{}}
+	for i, p := range t.pipes {
+		if p.Gimbal != nil {
+			p.Gimbal.AttachObs(reg, ring, i)
+		}
+		if dev, ok := p.Dev.(*ssd.SSD); ok {
+			dev.AttachObs(reg, i)
+		}
+		for _, tn := range p.tenants {
+			t.observeTenant(i, tn)
+		}
+	}
+	reg.Help("tenant_completed_bytes_total", "bytes completed per tenant")
+	reg.Help("tenant_credit", "virtual-slot credit currently granted to the tenant")
+}
+
+// observeTenant creates the per-tenant instruments (idempotent).
+func (t *Target) observeTenant(ssdIdx int, tn *nvme.Tenant) {
+	if t.obs == nil {
+		return
+	}
+	if _, ok := t.obs.tenants[tn]; ok {
+		return
+	}
+	lb := obs.L("ssd", strconv.Itoa(ssdIdx), "tenant", tn.Name)
+	to := &tenantObs{
+		bytes:  t.obs.reg.Counter("tenant_completed_bytes_total", lb),
+		ops:    t.obs.reg.Counter("tenant_completed_ops_total", lb),
+		errors: t.obs.reg.Counter("tenant_errors_total", lb),
+		since:  t.clk.Now(),
+		ssd:    ssdIdx,
+		tenant: tn,
+	}
+	t.obs.tenants[tn] = to
+	t.obs.order = append(t.obs.order, to)
+	if sw := t.pipes[ssdIdx].Gimbal; sw != nil {
+		t.obs.reg.GaugeFunc("tenant_credit", lb, func() float64 { return float64(sw.Credit(tn)) })
+	}
+}
+
+// onCompletion feeds the per-tenant counters (nil-checked by the caller).
+func (o *targetObs) onCompletion(io *nvme.IO, cpl nvme.Completion) {
+	to, ok := o.tenants[io.Tenant]
+	if !ok {
+		return
+	}
+	if cpl.Status == nvme.StatusOK {
+		to.bytes.Add(int64(io.Size))
+		to.ops.Inc()
+	} else {
+		to.errors.Inc()
+	}
+}

@@ -92,7 +92,13 @@ type Pipeline struct {
 	Dev   ssd.Device
 	// Gimbal is non-nil when the scheme is Gimbal (virtual-view access).
 	Gimbal *core.Switch
+
+	// tenants lists every tenant registered on this pipeline (stats).
+	tenants []*nvme.Tenant
 }
+
+// Tenants returns the tenants registered on this pipeline.
+func (p *Pipeline) Tenants() []*nvme.Tenant { return p.tenants }
 
 // Target is a storage node: a set of SSDs, each behind its own scheduler
 // pipeline, fronted by the SmartNIC CPU model.
@@ -100,6 +106,9 @@ type Target struct {
 	clk   sim.Scheduler
 	cfg   TargetConfig
 	pipes []*Pipeline
+
+	// obs is the attached telemetry state; nil by default.
+	obs *targetObs
 }
 
 // NewTarget builds a node over the devices with the configured scheme.
@@ -137,7 +146,16 @@ func (t *Target) Scheme() Scheme { return t.cfg.Scheme }
 
 // Register announces a tenant on an SSD pipeline.
 func (t *Target) Register(ssdIdx int, tenant *nvme.Tenant) {
-	t.pipes[ssdIdx].Sched.Register(tenant)
+	p := t.pipes[ssdIdx]
+	for _, tn := range p.tenants {
+		if tn == tenant {
+			p.Sched.Register(tenant)
+			return
+		}
+	}
+	p.tenants = append(p.tenants, tenant)
+	p.Sched.Register(tenant)
+	t.observeTenant(ssdIdx, tenant)
 }
 
 // Ingress injects an IO into a pipeline, charging the per-IO SmartNIC CPU
@@ -147,6 +165,9 @@ func (t *Target) Ingress(ssdIdx int, io *nvme.IO) {
 	pipe := t.pipes[ssdIdx]
 	downstream := io.Done
 	io.Done = func(io *nvme.IO, cpl nvme.Completion) {
+		if t.obs != nil {
+			t.obs.onCompletion(io, cpl)
+		}
 		if t.cfg.CPU == nil {
 			downstream(io, cpl)
 			return

@@ -9,8 +9,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
 	"gimbal/internal/sim"
 )
 
@@ -58,7 +60,35 @@ type TCPTarget struct {
 	closed atomic.Bool
 
 	tenantID atomic.Int64
+
+	// Connection tracking and in-flight accounting for graceful shutdown
+	// and the session-depth telemetry.
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	inflight atomic.Int64
+
+	// Capsule counters; nil until AttachObs.
+	rxCapsules *obs.Counter
+	txCapsules *obs.Counter
 }
+
+// AttachObs registers the transport's telemetry: per-target capsule
+// counters, the live in-flight command depth, and the open session count.
+func (t *TCPTarget) AttachObs(reg *obs.Registry) {
+	t.rxCapsules = reg.Counter("fabric_rx_capsules_total", "")
+	t.txCapsules = reg.Counter("fabric_tx_capsules_total", "")
+	reg.Help("fabric_rx_capsules_total", "command capsules received")
+	reg.Help("fabric_tx_capsules_total", "response capsules sent")
+	reg.GaugeFunc("fabric_inflight_commands", "", func() float64 { return float64(t.inflight.Load()) })
+	reg.GaugeFunc("fabric_open_sessions", "", func() float64 {
+		t.connMu.Lock()
+		defer t.connMu.Unlock()
+		return float64(len(t.conns))
+	})
+}
+
+// Inflight returns the number of commands currently inside the target.
+func (t *TCPTarget) Inflight() int64 { return t.inflight.Load() }
 
 // ServeTCP starts accepting NVMe-oF-style connections on addr. The target
 // and its devices must share rs as their scheduler.
@@ -67,7 +97,7 @@ func ServeTCP(rs *sim.RealScheduler, target *Target, addr string) (*TCPTarget, e
 	if err != nil {
 		return nil, err
 	}
-	t := &TCPTarget{RS: rs, target: target, ln: ln}
+	t := &TCPTarget{RS: rs, target: target, ln: ln, conns: map[net.Conn]struct{}{}}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -76,13 +106,37 @@ func ServeTCP(rs *sim.RealScheduler, target *Target, addr string) (*TCPTarget, e
 // Addr returns the listening address.
 func (t *TCPTarget) Addr() string { return t.ln.Addr().String() }
 
-// Close stops the listener; in-flight connections terminate on their own
-// errors.
+// Close stops the listener and force-closes every open connection;
+// in-flight commands complete into closed sockets.
 func (t *TCPTarget) Close() error {
 	t.closed.Store(true)
 	err := t.ln.Close()
+	t.closeConns()
 	t.wg.Wait()
 	return err
+}
+
+// Shutdown is the graceful variant of Close: it stops accepting, waits up
+// to timeout for in-flight commands to drain (so their completion capsules
+// reach clients), then closes the remaining sessions.
+func (t *TCPTarget) Shutdown(timeout time.Duration) error {
+	t.closed.Store(true)
+	err := t.ln.Close()
+	deadline := time.Now().Add(timeout)
+	for t.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.closeConns()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCPTarget) closeConns() {
+	t.connMu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.connMu.Unlock()
 }
 
 func (t *TCPTarget) acceptLoop() {
@@ -92,12 +146,27 @@ func (t *TCPTarget) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		t.connMu.Lock()
+		if t.closed.Load() {
+			t.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		t.conns[conn] = struct{}{}
+		t.connMu.Unlock()
+		t.wg.Add(1)
 		go t.serveConn(conn)
 	}
 }
 
 func (t *TCPTarget) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer t.wg.Done()
+	defer func() {
+		t.connMu.Lock()
+		delete(t.conns, conn)
+		t.connMu.Unlock()
+		conn.Close()
+	}()
 	out := make(chan []byte, 4096)
 	done := make(chan struct{})
 	go func() {
@@ -136,7 +205,15 @@ func (t *TCPTarget) serveConn(conn net.Conn) {
 // handle injects one command into the right pipeline under the scheduler
 // lock and arranges the response frame.
 func (t *TCPTarget) handle(cmd *CommandCapsule, tenants map[uint8]*nvme.Tenant, out chan<- []byte) {
+	if t.rxCapsules != nil {
+		t.rxCapsules.Inc()
+	}
+	t.inflight.Add(1)
 	respond := func(rsp *ResponseCapsule) {
+		t.inflight.Add(-1)
+		if t.txCapsules != nil {
+			t.txCapsules.Inc()
+		}
 		frame := AppendResponse(nil, rsp)
 		select {
 		case out <- frame:

@@ -107,6 +107,7 @@ type IO struct {
 	Tenant   *Tenant
 
 	Arrival   int64 // target ingress time
+	Admit     int64 // first scheduler dispatch attempt (0 until selected)
 	DevSubmit int64 // submission to the NVMe device
 	DevDone   int64 // device completion
 

@@ -1,0 +1,369 @@
+// Package obs is the telemetry layer shared by the discrete-event
+// simulator, the benchmark harness, and the live gimbald target: a
+// lock-cheap metrics registry of atomic counters and gauges (plus the
+// stats package's histograms and EWMAs registered as instruments), labeled
+// per SSD and per tenant, and a per-IO lifecycle trace ring (trace.go).
+//
+// Design rules:
+//
+//   - The record path is allocation-free and lock-free: counters and
+//     gauges are single atomic words; histograms are the stats package's
+//     log-bucketed histograms, updated only in scheduler context.
+//   - Instrumented components keep a nil-checkable observer pointer, so a
+//     system with no registry attached pays one predictable branch per
+//     hook (verified by BenchmarkSwitchSubmit in internal/core).
+//   - Collection (Gather / WritePrometheus / Snapshot) serializes against
+//     scheduler context through an optional GatherLock — the live daemon
+//     sets it to the RealScheduler so scraping a histogram mid-update is
+//     impossible; the simulator gathers only between runs and needs none.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gimbal/internal/stats"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Labels is a preformatted, brace-free Prometheus label list, e.g.
+// `ssd="0",tenant="conn1-ns0"`. Build one with L.
+type Labels string
+
+// L formats alternating key, value pairs into Labels. Keys should be given
+// in a consistent order at every call site so instrument identities match.
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L requires key/value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	return Labels(b.String())
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be nonnegative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return floatFromBits(g.bits.Load()) }
+
+// kind discriminates instrument types for export.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// instrument is one registered metric.
+type instrument struct {
+	name   string
+	labels Labels
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *stats.Histogram
+}
+
+func (in *instrument) id() string { return in.name + "{" + string(in.labels) + "}" }
+
+// Registry holds the instruments of one system (one simulation run or one
+// daemon process). Instrument registration is idempotent on (name, labels).
+type Registry struct {
+	// GatherLock, when set, is held across Gather/WritePrometheus/Snapshot
+	// so collection serializes with scheduler-context updates of
+	// histograms and gauge functions. The live daemon sets it to its
+	// RealScheduler. It must not be held by the caller.
+	GatherLock sync.Locker
+
+	mu    sync.Mutex
+	by    map[string]*instrument
+	order []*instrument
+	help  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: map[string]*instrument{}, help: map[string]string{}}
+}
+
+// lookup returns the existing instrument or registers a new one built by
+// mk. It panics when (name, labels) is already registered with a different
+// kind — instrument identities are code, not input.
+func (r *Registry) lookup(name string, labels Labels, k kind, mk func() *instrument) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := name + "{" + string(labels) + "}"
+	if in, ok := r.by[id]; ok {
+		if in.kind != k {
+			panic("obs: " + id + " re-registered with a different kind")
+		}
+		return in
+	}
+	in := mk()
+	in.name, in.labels, in.kind = name, labels, k
+	r.by[id] = in
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter returns the counter registered under (name, labels).
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	return r.lookup(name, labels, kindCounter, func() *instrument {
+		return &instrument{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	return r.lookup(name, labels, kindGauge, func() *instrument {
+		return &instrument{gauge: &Gauge{}}
+	}).gauge
+}
+
+// GaugeFunc registers fn as a gauge sampled at collection time (under
+// GatherLock), so exposing internal state costs nothing on the hot path.
+// Re-registration replaces the function.
+func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
+	in := r.lookup(name, labels, kindGaugeFunc, func() *instrument {
+		return &instrument{}
+	})
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns a registry-owned stats.Histogram exported as a
+// Prometheus summary (quantiles + _sum + _count). The histogram itself is
+// not thread-safe: record only from scheduler context, which GatherLock
+// serializes collection against.
+func (r *Registry) Histogram(name string, labels Labels) *stats.Histogram {
+	return r.lookup(name, labels, kindHistogram, func() *instrument {
+		return &instrument{hist: stats.NewHistogram()}
+	}).hist
+}
+
+// Help sets the HELP text exported for a metric name.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// Sample is one collected value.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// snapshotLocked clones the instrument list so collection can run without
+// holding r.mu (gauge funcs may take arbitrary time).
+func (r *Registry) instruments() []*instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*instrument(nil), r.order...)
+}
+
+// Gather flattens every instrument into samples. Histograms contribute
+// quantile samples plus _sum and _count.
+func (r *Registry) Gather() []Sample {
+	if r.GatherLock != nil {
+		r.GatherLock.Lock()
+		defer r.GatherLock.Unlock()
+	}
+	return r.gather()
+}
+
+func (r *Registry) gather() []Sample {
+	var out []Sample
+	for _, in := range r.instruments() {
+		switch in.kind {
+		case kindCounter:
+			out = append(out, Sample{in.name, in.labels, float64(in.counter.Load())})
+		case kindGauge:
+			out = append(out, Sample{in.name, in.labels, in.gauge.Load()})
+		case kindGaugeFunc:
+			out = append(out, Sample{in.name, in.labels, in.fn()})
+		case kindHistogram:
+			h := in.hist
+			for _, q := range []struct {
+				q string
+				v int64
+			}{{"0.5", h.P50()}, {"0.99", h.P99()}, {"0.999", h.P999()}} {
+				lb := in.labels
+				if lb != "" {
+					lb += ","
+				}
+				lb += Labels(`quantile="` + q.q + `"`)
+				out = append(out, Sample{in.name, lb, float64(q.v)})
+			}
+			out = append(out, Sample{in.name + "_sum", in.labels, h.Mean() * float64(h.Count())})
+			out = append(out, Sample{in.name + "_count", in.labels, float64(h.Count())})
+		}
+	}
+	return out
+}
+
+// Snapshot returns every sample keyed by `name{labels}`, for JSON export
+// and the bench harness's observability block.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range r.Gather() {
+		key := s.Name
+		if s.Labels != "" {
+			key += "{" + string(s.Labels) + "}"
+		}
+		out[key] = s.Value
+	}
+	return out
+}
+
+// SumMetric sums a metric across all label sets in a Snapshot map.
+func SumMetric(snap map[string]float64, name string) float64 {
+	var sum float64
+	for k, v := range snap {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, grouped by metric family with TYPE (and optional HELP) headers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r.GatherLock != nil {
+		r.GatherLock.Lock()
+		defer r.GatherLock.Unlock()
+	}
+	ins := r.instruments()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	// Group by family name, keeping registration order of first sight.
+	type family struct {
+		name string
+		typ  string
+		ins  []*instrument
+	}
+	byName := map[string]*family{}
+	var fams []*family
+	for _, in := range ins {
+		f, ok := byName[in.name]
+		if !ok {
+			typ := "gauge"
+			switch in.kind {
+			case kindCounter:
+				typ = "counter"
+			case kindHistogram:
+				typ = "summary"
+			}
+			f = &family{name: in.name, typ: typ}
+			byName[in.name] = f
+			fams = append(fams, f)
+		}
+		f.ins = append(f.ins, in)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		if h := help[f.name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, h); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, in := range f.ins {
+			if err := writeSamples(w, in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSamples(w io.Writer, in *instrument) error {
+	line := func(name string, labels Labels, v float64) error {
+		if labels == "" {
+			_, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+		return err
+	}
+	switch in.kind {
+	case kindCounter:
+		return line(in.name, in.labels, float64(in.counter.Load()))
+	case kindGauge:
+		return line(in.name, in.labels, in.gauge.Load())
+	case kindGaugeFunc:
+		return line(in.name, in.labels, in.fn())
+	case kindHistogram:
+		h := in.hist
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50()}, {"0.99", h.P99()}, {"0.999", h.P999()}} {
+			lb := in.labels
+			if lb != "" {
+				lb += ","
+			}
+			lb += Labels(`quantile="` + q.q + `"`)
+			if err := line(in.name, lb, float64(q.v)); err != nil {
+				return err
+			}
+		}
+		if err := line(in.name+"_sum", in.labels, h.Mean()*float64(h.Count())); err != nil {
+			return err
+		}
+		return line(in.name+"_count", in.labels, float64(h.Count()))
+	}
+	return nil
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// IOTrace is the lifecycle record of one IO through a switch pipeline:
+//
+//	Arrival  — target ingress (scheduler Enqueue)
+//	Admit    — first DRR dispatch attempt (the IO won its fairness round)
+//	Submit   — submission to the NVMe device (token pacing satisfied)
+//	DevDone  — device completion
+//	Done     — completion capsule handed back toward the client
+//
+// All timestamps are nanoseconds on the owning scheduler's clock
+// (sim.Scheduler.Now()), so simulated runs trace deterministically and the
+// live daemon traces in wall-clock nanoseconds since process start.
+type IOTrace struct {
+	SSD    int    `json:"ssd"`
+	Tenant string `json:"tenant"`
+	Op     string `json:"op"`
+	Size   int    `json:"size"`
+
+	Arrival int64 `json:"arrival_ns"`
+	Admit   int64 `json:"admit_ns"`
+	Submit  int64 `json:"submit_ns"`
+	DevDone int64 `json:"dev_done_ns"`
+	Done    int64 `json:"done_ns"`
+}
+
+// QueueDelay is the time spent queued behind the DRR fairness rounds
+// (arrival → admit).
+func (t *IOTrace) QueueDelay() int64 { return t.Admit - t.Arrival }
+
+// PacingStall is the time spent admitted but waiting for rate-pacer tokens
+// (admit → device submit).
+func (t *IOTrace) PacingStall() int64 { return t.Submit - t.Admit }
+
+// DeviceLatency is the raw device service time (submit → device done).
+func (t *IOTrace) DeviceLatency() int64 { return t.DevDone - t.Submit }
+
+// CompleteDelay is the target-side completion processing time (device done
+// → completion capsule sent). Zero under the discrete-event clock.
+func (t *IOTrace) CompleteDelay() int64 { return t.Done - t.DevDone }
+
+// traceJSON is the JSONL export shape: raw timestamps plus derived spans,
+// so a trace line is self-describing.
+type traceJSON struct {
+	IOTrace
+	QueueNs    int64 `json:"queue_ns"`
+	PacingNs   int64 `json:"pacing_ns"`
+	DeviceNs   int64 `json:"device_ns"`
+	CompleteNs int64 `json:"complete_ns"`
+}
+
+// TraceRing is a fixed-capacity ring buffer of IO traces. Appends are
+// O(1), allocation-free, and guarded by a mutex (they happen only when a
+// recorder is attached; the unattached fast path is a nil check at the
+// instrumentation site).
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []IOTrace
+	pos   int
+	full  bool
+	total uint64
+}
+
+// NewTraceRing returns a ring holding the last capacity traces.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]IOTrace, capacity)}
+}
+
+// Append records one trace, overwriting the oldest when full.
+func (r *TraceRing) Append(t IOTrace) {
+	r.mu.Lock()
+	r.buf[r.pos] = t
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of traces ever appended.
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Len returns the number of traces currently held.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.pos
+}
+
+// Snapshot returns the held traces, oldest first.
+func (r *TraceRing) Snapshot() []IOTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]IOTrace(nil), r.buf[:r.pos]...)
+	}
+	out := make([]IOTrace, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	out = append(out, r.buf[:r.pos]...)
+	return out
+}
+
+// WriteJSONL streams the held traces as one JSON object per line, oldest
+// first, each carrying both raw timestamps and the derived spans.
+func (r *TraceRing) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range r.Snapshot() {
+		rec := traceJSON{
+			IOTrace:    t,
+			QueueNs:    t.QueueDelay(),
+			PacingNs:   t.PacingStall(),
+			DeviceNs:   t.DeviceLatency(),
+			CompleteNs: t.CompleteDelay(),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -136,6 +136,10 @@ type SSD struct {
 	bufWaitQ []*Request
 
 	stats Stats
+
+	// obs is the attached telemetry sink; nil by default (hot paths only
+	// nil-check it).
+	obs *deviceObs
 }
 
 // New builds an SSD from params. It panics on invalid params (programmer
@@ -428,6 +432,13 @@ func (s *SSD) programBatch(batch []uint32) {
 	// queue — is charged at most one GCSlice per batch.
 	gcCost := int64(work.moved)*(s.p.ReadLatency/int64(s.p.ProgramPages)+s.p.ProgPerPage()) +
 		int64(work.erases)*s.p.EraseLatency
+	if s.obs != nil {
+		s.obs.flushBatches.Inc()
+		s.obs.flushedBytes.Add(int64(len(pages) * s.p.PageSize))
+		if gcCost > 0 {
+			s.obs.gcInvocations.Inc()
+		}
+	}
 	if gcCost > 0 {
 		fenceStart := max64(now, s.gcFence[die])
 		s.gcFence[die] = fenceStart + gcCost

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // EWMA is an exponentially weighted moving average with weight alpha given
 // to new samples, matching the paper's latency monitor:
@@ -38,10 +41,12 @@ func (e *EWMA) Initialized() bool { return e.seen }
 func (e *EWMA) Reset() { e.value, e.seen = 0, false }
 
 // Meter accumulates byte and operation counts over an interval and converts
-// them to bandwidth/IOPS.
+// them to bandwidth/IOPS. Counters are atomic so completion callbacks and
+// telemetry scrapes may race safely; Reset is not atomic with respect to
+// concurrent Adds and should happen in scheduler context.
 type Meter struct {
-	Bytes int64
-	Ops   int64
+	bytes atomic.Int64
+	ops   atomic.Int64
 	start int64
 }
 
@@ -49,7 +54,13 @@ type Meter struct {
 func NewMeter(now int64) *Meter { return &Meter{start: now} }
 
 // Add records one completed operation of n bytes.
-func (m *Meter) Add(n int64) { m.Bytes += n; m.Ops++ }
+func (m *Meter) Add(n int64) { m.bytes.Add(n); m.ops.Add(1) }
+
+// Bytes returns the bytes accumulated since the interval start.
+func (m *Meter) Bytes() int64 { return m.bytes.Load() }
+
+// Ops returns the operations accumulated since the interval start.
+func (m *Meter) Ops() int64 { return m.ops.Load() }
 
 // BandwidthMBps returns the mean bandwidth since the interval start in
 // MB/s (1 MB = 1e6 bytes, as the paper plots).
@@ -58,7 +69,7 @@ func (m *Meter) BandwidthMBps(now int64) float64 {
 	if dt <= 0 {
 		return 0
 	}
-	return float64(m.Bytes) / 1e6 / dt
+	return float64(m.bytes.Load()) / 1e6 / dt
 }
 
 // KIOPS returns thousands of operations per second since the interval start.
@@ -67,11 +78,15 @@ func (m *Meter) KIOPS(now int64) float64 {
 	if dt <= 0 {
 		return 0
 	}
-	return float64(m.Ops) / 1e3 / dt
+	return float64(m.ops.Load()) / 1e3 / dt
 }
 
 // Reset restarts the interval at now.
-func (m *Meter) Reset(now int64) { m.Bytes, m.Ops, m.start = 0, 0, now }
+func (m *Meter) Reset(now int64) {
+	m.bytes.Store(0)
+	m.ops.Store(0)
+	m.start = now
+}
 
 // Series is a time series of (t, value) points sampled by the harness for
 // the timeline figures (Fig 9, 17, 18).

@@ -173,7 +173,7 @@ func TestMeter(t *testing.T) {
 		t.Fatalf("kiops = %v", k)
 	}
 	m.Reset(1e6)
-	if m.Bytes != 0 || m.Ops != 0 {
+	if m.Bytes() != 0 || m.Ops() != 0 {
 		t.Fatal("reset failed")
 	}
 	if m.BandwidthMBps(1e6) != 0 {

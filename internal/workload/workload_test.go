@@ -101,7 +101,7 @@ func TestWorkerRateLimit(t *testing.T) {
 		nvme.NewTenant(0, "t"), tgt)
 	w.Start(100_000_000)
 	loop.Run()
-	bw := float64(w.Meter.Bytes) / 1e6 / 0.1
+	bw := float64(w.Meter.Bytes()) / 1e6 / 0.1
 	if bw > 110 || bw < 80 {
 		t.Fatalf("rate-limited bandwidth = %.1f MB/s, want ~100", bw)
 	}
