@@ -5,28 +5,35 @@
 //	gimbalbench -list
 //	gimbalbench -exp fig6
 //	gimbalbench -exp fig6,fig7 -format csv
-//	gimbalbench -exp all
+//	gimbalbench -exp all -parallel 8
 //
 // Each experiment prints the rows/series the corresponding paper figure or
 // table reports, with a note summarizing the shape the paper observed.
 // EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Experiments are independent simulations, so the sweep runs them on a
+// worker pool (-parallel, default GOMAXPROCS). Every experiment owns its
+// simulation loop, RNG seeds, and caches, so the output is byte-identical
+// at any parallelism level; reports are always emitted in the requested
+// order. -parallel 1 reproduces the serial sweep exactly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
-	"time"
 
 	"gimbal/internal/bench"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		format = flag.String("format", "table", "output format: table, csv, or json")
-		list   = flag.Bool("list", false, "list experiment ids")
+		exp      = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		format   = flag.String("format", "table", "output format: table, csv, or json")
+		list     = flag.Bool("list", false, "list experiment ids")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 	)
 	flag.Parse()
 
@@ -46,39 +53,35 @@ func main() {
 	if *exp == "all" {
 		ids = bench.IDs()
 	} else {
-		ids = strings.Split(*exp, ",")
-	}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		e, ok := bench.Lookup(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-			os.Exit(1)
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
 		}
-		start := time.Now()
-		bench.DrainObsRuns() // discard blocks from any prior stray runs
-		results := e.Run()
+	}
+
+	failed := false
+	emit := func(rp *bench.Report) {
 		switch *format {
 		case "json":
-			report := &bench.Report{
-				Experiment:    e.ID,
-				Title:         e.Title,
-				Results:       results,
-				Observability: bench.DrainObsRuns(),
-			}
-			if err := report.WriteJSON(os.Stdout); err != nil {
+			if err := rp.WriteJSON(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				failed = true
 			}
 		case "csv":
-			for _, r := range results {
+			for _, r := range rp.Results {
 				r.WriteCSV(os.Stdout)
 			}
 		default:
-			for _, r := range results {
+			for _, r := range rp.Results {
 				r.WriteTable(os.Stdout)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", rp.Experiment, rp.WallSeconds)
+	}
+	if _, err := bench.RunAll(ids, *parallel, emit); err != nil {
+		fmt.Fprintf(os.Stderr, "%v (try -list)\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -47,9 +47,13 @@ type Scheduler struct {
 	clk sim.Scheduler
 	sub *nvme.Submitter
 
-	tenants     map[*nvme.Tenant]*tenant
+	tenants map[*nvme.Tenant]*tenant
+	// order lists tenants by registration so dispatch ties break
+	// deterministically (map iteration order is randomized).
+	order       []*tenant
 	vtime       float64 // start tag of the most recently dispatched request
 	outstanding int
+	onDoneFn    func(*nvme.IO) // cached to avoid a method-value alloc per submit
 
 	Submits     int64
 	Completions int64
@@ -57,12 +61,14 @@ type Scheduler struct {
 
 // New returns a FlashFQ scheduler over dev.
 func New(clk sim.Scheduler, dev ssd.Device, cfg Config) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:     cfg,
 		clk:     clk,
 		sub:     nvme.NewSubmitter(clk, dev),
 		tenants: make(map[*nvme.Tenant]*tenant),
 	}
+	s.onDoneFn = s.onDone
+	return s
 }
 
 // Name implements nvme.Scheduler.
@@ -71,7 +77,9 @@ func (s *Scheduler) Name() string { return "flashfq" }
 // Register implements nvme.Scheduler.
 func (s *Scheduler) Register(t *nvme.Tenant) {
 	if _, ok := s.tenants[t]; !ok {
-		s.tenants[t] = &tenant{}
+		ts := &tenant{}
+		s.tenants[t] = ts
+		s.order = append(s.order, ts)
 	}
 }
 
@@ -110,7 +118,7 @@ func (s *Scheduler) Enqueue(io *nvme.IO) {
 func (s *Scheduler) dispatch() {
 	for s.outstanding < s.cfg.Depth {
 		var best *tenant
-		for _, ts := range s.tenants {
+		for _, ts := range s.order {
 			if len(ts.queue) == 0 {
 				continue
 			}
@@ -127,7 +135,7 @@ func (s *Scheduler) dispatch() {
 		s.vtime = io.Sched.(tags).start
 		s.outstanding++
 		s.Submits++
-		s.sub.Submit(io, s.onDone)
+		s.sub.Submit(io, s.onDoneFn)
 	}
 }
 

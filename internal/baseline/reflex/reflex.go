@@ -52,12 +52,14 @@ type Scheduler struct {
 	clk sim.Scheduler
 	sub *nvme.Submitter
 
-	tenants map[*nvme.Tenant]*tenant
-	active  *list.List
-	tokens  float64
-	last    int64
-	timer   *sim.Event
-	quantum float64
+	tenants  map[*nvme.Tenant]*tenant
+	active   *list.List
+	tokens   float64
+	last     int64
+	timer    sim.Timer
+	pumpFn   func() // cached for timer re-arming without a per-arm closure
+	onDoneFn func(*nvme.IO)
+	quantum  float64
 
 	Submits     int64
 	Completions int64
@@ -65,7 +67,7 @@ type Scheduler struct {
 
 // New returns a ReFlex scheduler over dev.
 func New(clk sim.Scheduler, dev ssd.Device, cfg Config) *Scheduler {
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:     cfg,
 		clk:     clk,
 		sub:     nvme.NewSubmitter(clk, dev),
@@ -75,6 +77,9 @@ func New(clk sim.Scheduler, dev ssd.Device, cfg Config) *Scheduler {
 		last:    clk.Now(),
 		quantum: 32, // one 128KB request per round
 	}
+	s.pumpFn = s.pump
+	s.onDoneFn = s.onDone
+	return s
 }
 
 // Name implements nvme.Scheduler.
@@ -129,10 +134,7 @@ func (s *Scheduler) refill() {
 }
 
 func (s *Scheduler) pump() {
-	if s.timer != nil {
-		s.timer.Cancel()
-		s.timer = nil
-	}
+	s.timer.Cancel()
 	s.refill()
 	for s.active.Len() > 0 {
 		ts := s.active.Front().Value.(*tenant)
@@ -160,14 +162,14 @@ func (s *Scheduler) pump() {
 			if wait < sim.Microsecond {
 				wait = sim.Microsecond
 			}
-			s.timer = s.clk.After(wait, s.pump)
+			s.timer = s.clk.After(wait, s.pumpFn)
 			return
 		}
 		s.tokens -= c
 		ts.deficit -= c
 		ts.queue = ts.queue[1:]
 		s.Submits++
-		s.sub.Submit(io, s.onDone)
+		s.sub.Submit(io, s.onDoneFn)
 	}
 }
 

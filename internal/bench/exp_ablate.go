@@ -16,15 +16,15 @@ func init() {
 
 // gimbalVariant runs the fragmented mixed-type fairness scenario under a
 // modified Gimbal configuration and reports utilization and tails.
-func gimbalVariant(name string, mutate func(*fabric.TargetConfig), res *Result) {
+func gimbalVariant(cx *Ctx, name string, mutate func(*fabric.TargetConfig), res *Result) {
 	c := fairCases()[2] // frag-types: 16 readers + 16 writers, 4KB
 	specs := append(repeat(withName(c.groupA, "A"), c.nA), repeat(withName(c.groupB, "B"), c.nB)...)
-	run := Execute(FioConfig{
+	run := cx.Execute(FioConfig{
 		Scheme: fabric.SchemeGimbal, Cond: c.cond, Specs: specs,
 		Warm: evalWarm, Dur: evalDur, Seed: 7, GimbalCfg: mutate,
 	})
-	_, _, aF := groupBWAndFUtil(run, c, "A")
-	_, _, bF := groupBWAndFUtil(run, c, "B")
+	_, _, aF := groupBWAndFUtil(cx, run, c, "A")
+	_, _, bF := groupBWAndFUtil(cx, run, c, "B")
 	rd, wr := mergedHists(run)
 	res.AddRow(name, f2(aF), f2(bF), us(rd.P999()), us(wr.P999()),
 		f0(run.AggBandwidth(nil)))
@@ -34,16 +34,16 @@ func ablateHeader() []string {
 	return []string{"variant", "rd_fUtil", "wr_fUtil", "rd_p999_us", "wr_p999_us", "agg_MBps"}
 }
 
-func runAblateThresh() []*Result {
+func runAblateThresh(cx *Ctx) []*Result {
 	res := &Result{ID: "ablate-thresh",
 		Title:  "Fragmented 4KB mixed workload under different threshold policies",
 		Header: ablateHeader()}
-	gimbalVariant("dynamic (paper)", nil, res)
-	gimbalVariant("fixed 2ms", func(tc *fabric.TargetConfig) {
+	gimbalVariant(cx, "dynamic (paper)", nil, res)
+	gimbalVariant(cx, "fixed 2ms", func(tc *fabric.TargetConfig) {
 		tc.Gimbal.Latency.ThreshMax = 2_000_000
 		tc.Gimbal.Latency.AlphaT = 0 // threshold pinned at max
 	}, res)
-	gimbalVariant("fixed 500us", func(tc *fabric.TargetConfig) {
+	gimbalVariant(cx, "fixed 500us", func(tc *fabric.TargetConfig) {
 		tc.Gimbal.Latency.ThreshMax = 500_000
 		tc.Gimbal.Latency.AlphaT = 0
 	}, res)
@@ -52,24 +52,24 @@ func runAblateThresh() []*Result {
 	return []*Result{res}
 }
 
-func runAblateBucket() []*Result {
+func runAblateBucket(cx *Ctx) []*Result {
 	res := &Result{ID: "ablate-bucket",
 		Title:  "Dual vs single token bucket (Appendix C.1)",
 		Header: ablateHeader()}
-	gimbalVariant("dual (paper)", nil, res)
-	gimbalVariant("single bucket", func(tc *fabric.TargetConfig) {
+	gimbalVariant(cx, "dual (paper)", nil, res)
+	gimbalVariant(cx, "single bucket", func(tc *fabric.TargetConfig) {
 		tc.Gimbal.Rate.SingleBucket = true
 	}, res)
 	res.Notef("a single bucket submits writes at the aggregate rate, spiking write latency")
 	return []*Result{res}
 }
 
-func runAblateWritecost() []*Result {
+func runAblateWritecost(cx *Ctx) []*Result {
 	res := &Result{ID: "ablate-writecost",
 		Title:  "Dynamic vs static write cost (§3.4)",
 		Header: ablateHeader()}
-	gimbalVariant("dynamic (paper)", nil, res)
-	gimbalVariant("static worst=9", func(tc *fabric.TargetConfig) {
+	gimbalVariant(cx, "dynamic (paper)", nil, res)
+	gimbalVariant(cx, "static worst=9", func(tc *fabric.TargetConfig) {
 		tc.Gimbal.DisableDynamicCost = true
 	}, res)
 	res.Notef("the static cost forfeits the write-buffer fast path: light writers are " +
@@ -77,12 +77,12 @@ func runAblateWritecost() []*Result {
 	return []*Result{res}
 }
 
-func runAblateVslot() []*Result {
+func runAblateVslot(cx *Ctx) []*Result {
 	res := &Result{ID: "ablate-vslot",
 		Title:  "Virtual slots vs unbounded per-tenant outstanding IO (§3.5)",
 		Header: ablateHeader()}
-	gimbalVariant("8 slots (paper)", nil, res)
-	gimbalVariant("unbounded slots", func(tc *fabric.TargetConfig) {
+	gimbalVariant(cx, "8 slots (paper)", nil, res)
+	gimbalVariant(cx, "unbounded slots", func(tc *fabric.TargetConfig) {
 		tc.Gimbal.Sched.Slots.MaxSlots = 1 << 20
 		tc.Gimbal.Sched.Slots.SlotBytes = 1 << 40
 	}, res)
@@ -91,7 +91,7 @@ func runAblateVslot() []*Result {
 	return []*Result{res}
 }
 
-func runAblateCredit() []*Result {
+func runAblateCredit(cx *Ctx) []*Result {
 	res := &Result{ID: "ablate-credit",
 		Title:  "End-to-end credit flow control on vs off (§3.6)",
 		Header: ablateHeader()}
@@ -124,8 +124,8 @@ func runAblateCredit() []*Result {
 		}
 		run.Loop.RunUntil(stop)
 		run.Loop.Run()
-		_, _, aF := groupBWAndFUtil(run, c, "A")
-		_, _, bF := groupBWAndFUtil(run, c, "B")
+		_, _, aF := groupBWAndFUtil(cx, run, c, "A")
+		_, _, bF := groupBWAndFUtil(cx, run, c, "B")
 		rd, wr := mergedHists(run)
 		name := "credits on (paper)"
 		if gateOff {

@@ -21,27 +21,17 @@ func init() {
 	register("fig58", "Generalization: fairness on the Intel P3600 model (§5.8)", runFig58)
 }
 
-const (
+// evalWarm/evalDur are the evaluation experiments' warmup and measurement
+// windows. They are variables (not constants) only so the determinism test
+// can shrink them; production runs never mutate them.
+var (
 	evalWarm = 1 * sim.Second
 	evalDur  = 2 * sim.Second
 )
 
-// runCache memoizes runs shared between figures (fig7 and fig8 report
-// different views of the same experiment).
-var runCache = map[string]*FioRun{}
-
-func cachedRun(key string, cfg FioConfig) *FioRun {
-	if r, ok := runCache[key]; ok {
-		return r
-	}
-	r := Execute(cfg)
-	runCache[key] = r
-	return r
-}
-
 // --- Fig 6: 16 identical workers per case ---
 
-func runFig6() []*Result {
+func runFig6(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig6",
 		Title:  "16 same-profile workers: aggregated bandwidth and average latency",
@@ -59,7 +49,7 @@ func runFig6() []*Result {
 	}
 	for _, c := range cases {
 		for _, scheme := range fabric.AllSchemes {
-			run := cachedRun(fmt.Sprintf("fig6|%s|%s", c.name, scheme),
+			run := cx.cachedRun(fmt.Sprintf("fig6|%s|%s", c.name, scheme),
 				FioConfig{Scheme: scheme, Cond: c.cond, Specs: repeat(c.prof, 16),
 					Warm: evalWarm, Dur: evalDur, Seed: 7})
 			bw := run.AggBandwidth(nil)
@@ -115,9 +105,9 @@ func fairCases() []fairCase {
 	}
 }
 
-func fairRun(c fairCase, scheme fabric.Scheme) *FioRun {
+func fairRun(cx *Ctx, c fairCase, scheme fabric.Scheme) *FioRun {
 	specs := append(repeat(withName(c.groupA, "A"), c.nA), repeat(withName(c.groupB, "B"), c.nB)...)
-	return cachedRun(fmt.Sprintf("fair|%s|%s", c.name, scheme),
+	return cx.cachedRun(fmt.Sprintf("fair|%s|%s", c.name, scheme),
 		FioConfig{Scheme: scheme, Cond: c.cond, Specs: specs,
 			Warm: evalWarm, Dur: evalDur, Seed: 7})
 }
@@ -127,8 +117,8 @@ func withName(p workload.Profile, name string) workload.Profile {
 	return p
 }
 
-// groupStats aggregates one worker group's bandwidth and f-Util.
-func groupBWAndFUtil(run *FioRun, c fairCase, group string) (aggBW, perWorkerBW, fUtil float64) {
+// groupBWAndFUtil aggregates one worker group's bandwidth and f-Util.
+func groupBWAndFUtil(cx *Ctx, run *FioRun, c fairCase, group string) (aggBW, perWorkerBW, fUtil float64) {
 	prof := c.groupA
 	n := c.nA
 	if group == "B" {
@@ -142,7 +132,7 @@ func groupBWAndFUtil(run *FioRun, c fairCase, group string) (aggBW, perWorkerBW,
 		}
 	}
 	perWorkerBW = aggBW / float64(n)
-	standalone := StandaloneMax(prof, c.cond, ssd.Params{})
+	standalone := cx.StandaloneMax(prof, c.cond, ssd.Params{})
 	var sum float64
 	for _, w := range run.Workers {
 		if w.Profile().Name == group {
@@ -160,7 +150,7 @@ func fUtilOf(bw, standalone float64, workers int) float64 {
 	return bw / (standalone / float64(workers))
 }
 
-func runFig7() []*Result {
+func runFig7(cx *Ctx) []*Result {
 	res := &Result{
 		ID:    "fig7",
 		Title: "Fairness across IO sizes and types: per-group bandwidth and f-Util",
@@ -169,9 +159,9 @@ func runFig7() []*Result {
 	}
 	for _, c := range fairCases() {
 		for _, scheme := range fabric.AllSchemes {
-			run := fairRun(c, scheme)
-			_, aBW, aF := groupBWAndFUtil(run, c, "A")
-			_, bBW, bF := groupBWAndFUtil(run, c, "B")
+			run := fairRun(cx, c, scheme)
+			_, aBW, aF := groupBWAndFUtil(cx, run, c, "A")
+			_, bBW, bF := groupBWAndFUtil(cx, run, c, "B")
 			res.AddRow(c.name, scheme.String(),
 				groupLabel(c.groupA), f0(aBW), f2(aF),
 				groupLabel(c.groupB), f0(bBW), f2(bF))
@@ -192,7 +182,7 @@ func groupLabel(p workload.Profile) string {
 
 // --- Fig 8: latency view of the mixed-type runs ---
 
-func runFig8() []*Result {
+func runFig8(cx *Ctx) []*Result {
 	res := &Result{
 		ID:    "fig8",
 		Title: "Mixed read/write workload latency percentiles (us)",
@@ -201,7 +191,7 @@ func runFig8() []*Result {
 	}
 	for _, c := range fairCases()[1:] { // clean-types, frag-types
 		for _, scheme := range fabric.AllSchemes {
-			run := fairRun(c, scheme)
+			run := fairRun(cx, c, scheme)
 			rd, wr := mergedHists(run)
 			res.AddRow(c.name, scheme.String(),
 				f0(rd.Mean()/1e3), us(rd.P99()), us(rd.P999()),
@@ -225,7 +215,7 @@ func mergedHists(run *FioRun) (rd, wr *stats.Histogram) {
 
 // --- Fig 9: dynamic workload ---
 
-func runFig9() []*Result {
+func runFig9(cx *Ctx) []*Result {
 	res := &Result{
 		ID:    "fig9",
 		Title: "Gimbal under a dynamic workload (8 readers; writers join, readers leave)",
@@ -302,7 +292,7 @@ func runFig9() []*Result {
 		series = append(series, s)
 	}
 
-	Execute(FioConfig{
+	cx.Execute(FioConfig{
 		Scheme:       fabric.SchemeGimbal,
 		Cond:         ssd.Fragmented,
 		Specs:        repeat(reader, 8),
@@ -327,7 +317,7 @@ func wStopped(w *workload.Worker) bool { return w.Inflight() == 0 && w.Stopped()
 
 // --- Fig 17: latency with and without congestion control ---
 
-func runFig17() []*Result {
+func runFig17(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig17",
 		Title:  "4KB/128KB mixed read load: average latency and bandwidth over time",
@@ -390,7 +380,7 @@ func runFig17() []*Result {
 
 // --- Fig 18: threshold trace ---
 
-func runFig18() []*Result {
+func runFig18(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig18",
 		Title:  "Dynamic latency threshold vs EWMA latency (128KB random read)",
@@ -402,7 +392,7 @@ func runFig18() []*Result {
 		rm, _ := g.Monitors()
 		rows = append(rows, []string{f0(float64(now) / 1e6), f0(rm.EWMA() / 1e3), f0(rm.Threshold() / 1e3)})
 	}
-	Execute(FioConfig{
+	cx.Execute(FioConfig{
 		Scheme: fabric.SchemeGimbal, Cond: ssd.Clean,
 		Specs: repeat(read128K(), 16),
 		Warm:  0, Dur: 3 * sim.Second, Seed: 7,
@@ -416,7 +406,7 @@ func runFig18() []*Result {
 
 // --- Fig 58 (§5.8): P3600 generalization ---
 
-func runFig58() []*Result {
+func runFig58(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig58",
 		Title:  "Gimbal f-Util on the Intel P3600 model (Thresh_max = 3ms)",
@@ -428,18 +418,18 @@ func runFig58() []*Result {
 	}
 	for _, c := range fairCases()[1:] {
 		specs := append(repeat(withName(c.groupA, "A"), c.nA), repeat(withName(c.groupB, "B"), c.nB)...)
-		run := Execute(FioConfig{Scheme: fabric.SchemeGimbal, Cond: c.cond, Params: p3600,
+		run := cx.Execute(FioConfig{Scheme: fabric.SchemeGimbal, Cond: c.cond, Params: p3600,
 			Specs: specs, Warm: evalWarm, Dur: evalDur, Seed: 7, GimbalCfg: gimbalCfg})
 		cc := c
-		_, _, aF := groupBWAndFUtilP(run, cc, "A", p3600)
-		_, _, bF := groupBWAndFUtilP(run, cc, "B", p3600)
+		_, _, aF := groupBWAndFUtilP(cx, run, cc, "A", p3600)
+		_, _, bF := groupBWAndFUtilP(cx, run, cc, "B", p3600)
 		res.AddRow(c.name, f2(aF), f2(bF))
 	}
 	res.Notef("paper: 0.63/0.72 read/write f-Util clean, 0.58/0.90 fragmented")
 	return []*Result{res}
 }
 
-func groupBWAndFUtilP(run *FioRun, c fairCase, group string, params ssd.Params) (aggBW, perWorkerBW, fUtil float64) {
+func groupBWAndFUtilP(cx *Ctx, run *FioRun, c fairCase, group string, params ssd.Params) (aggBW, perWorkerBW, fUtil float64) {
 	prof := c.groupA
 	n := c.nA
 	if group == "B" {
@@ -447,7 +437,7 @@ func groupBWAndFUtilP(run *FioRun, c fairCase, group string, params ssd.Params) 
 		n = c.nB
 	}
 	total := c.nA + c.nB
-	standalone := StandaloneMax(prof, c.cond, params)
+	standalone := cx.StandaloneMax(prof, c.cond, params)
 	var sum float64
 	for _, w := range run.Workers {
 		if w.Profile().Name == group {

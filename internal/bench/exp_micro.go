@@ -32,7 +32,7 @@ const (
 
 // --- Fig 2 ---
 
-func runFig2() []*Result {
+func runFig2(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig2",
 		Title:  "QD1 latency (us) by IO size, random read and sequential write",
@@ -40,7 +40,7 @@ func runFig2() []*Result {
 	}
 	sizes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 128 << 10, 256 << 10}
 	measure := func(cpu *fabric.CPUModel, p workload.Profile) float64 {
-		run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
+		run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
 			Specs: []Spec{{Profile: p}}, Warm: microWarm, Dur: microDur, Seed: 3, CPU: cpu})
 		h := run.Workers[0].ReadLat
 		if p.ReadRatio == 0 {
@@ -62,7 +62,7 @@ func runFig2() []*Result {
 
 // --- Fig 3 ---
 
-func runFig3() []*Result {
+func runFig3(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig3",
 		Title:  "Max throughput (KIOPS) vs cores, 4 SSDs",
@@ -84,7 +84,7 @@ func runFig3() []*Result {
 		params := ssd.DCT983()
 		params.UsableBytes = 1 << 30
 		const dur = 400 * sim.Millisecond
-		run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Fresh, NumSSD: 4,
+		run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Fresh, NumSSD: 4,
 			Params: params, Specs: specs, Warm: 200 * sim.Millisecond, Dur: dur, Seed: 3, CPU: cpu})
 		var ops uint64
 		for _, w := range run.Workers {
@@ -103,7 +103,7 @@ func runFig3() []*Result {
 
 // --- Fig 4 ---
 
-func runFig4() []*Result {
+func runFig4(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig4",
 		Title:  "Victim (4KB-RD QD32) vs neighbor bandwidth, unmanaged target",
@@ -122,7 +122,7 @@ func runFig4() []*Result {
 	}
 	victim := workload.Profile{Name: "v", ReadRatio: 1, IOSize: 4 << 10, QD: 32}
 	for _, nb := range neighbors {
-		run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
+		run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
 			Specs: []Spec{{Profile: victim}, {Profile: nb.p}},
 			Warm:  microWarm, Dur: microDur, Seed: 3})
 		res.AddRow(nb.name, f0(run.Workers[0].BandwidthMBps()), f0(run.Workers[1].BandwidthMBps()))
@@ -134,7 +134,7 @@ func runFig4() []*Result {
 
 // --- Fig 14 ---
 
-func runFig14() []*Result {
+func runFig14(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig14",
 		Title:  "4KB QD32 bandwidth (MB/s) vs read ratio",
@@ -145,7 +145,7 @@ func runFig14() []*Result {
 		row := []string{f0(ratio * 100)}
 		for _, cond := range []ssd.Condition{ssd.Clean, ssd.Fragmented} {
 			p := workload.Profile{Name: "m", ReadRatio: ratio, IOSize: 4096, QD: 32}
-			run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: cond,
+			run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: cond,
 				Specs: repeat(p, 4), Warm: microWarm, Dur: microDur, Seed: 3})
 			var rdB, wrB int64
 			for _, w := range run.Workers {
@@ -164,7 +164,7 @@ func runFig14() []*Result {
 
 // --- Fig 15 ---
 
-func runFig15() []*Result {
+func runFig15(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig15",
 		Title:  "Random read latency (us) vs size under four scenarios",
@@ -175,7 +175,7 @@ func runFig15() []*Result {
 		mix := workload.Profile{Name: "m", ReadRatio: 0.7, IOSize: size, QD: 1}
 		rd8 := workload.Profile{Name: "r8", ReadRatio: 1, IOSize: size, QD: 8}
 		lat := func(cond ssd.Condition, p workload.Profile) float64 {
-			run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: cond,
+			run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: cond,
 				Specs: []Spec{{Profile: p}}, Warm: microWarm, Dur: microDur, Seed: 3})
 			return run.Workers[0].ReadLat.Mean() / 1e3
 		}
@@ -190,7 +190,7 @@ func runFig15() []*Result {
 
 // --- Fig 16 ---
 
-func runFig16() []*Result {
+func runFig16(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig16",
 		Title:  "Bandwidth (GB/s) vs added per-IO processing cost (SmartNIC, 8 cores)",
@@ -209,7 +209,7 @@ func runFig16() []*Result {
 			cpu.ExtraPerIO = c * 1000
 			params := ssd.DCT983()
 			params.UsableBytes = 1 << 30
-			run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Fresh,
+			run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Fresh,
 				Params: params, Specs: repeat(p, 8), Warm: 200 * sim.Millisecond,
 				Dur: 400 * sim.Millisecond, Seed: 3, CPU: cpu})
 			row = append(row, f2(run.AggBandwidth(nil)/1e3))
@@ -223,7 +223,7 @@ func runFig16() []*Result {
 
 // --- Fig 19 ---
 
-func runFig19() []*Result {
+func runFig19(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig19",
 		Title:  "Two competing streams with 2:1 queue depths (MB/s)",
@@ -240,7 +240,7 @@ func runFig19() []*Result {
 				}
 				return p
 			}
-			run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
+			run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
 				Specs: []Spec{{Profile: mk(64)}, {Profile: mk(32)}},
 				Warm:  microWarm, Dur: microDur, Seed: 3})
 			row = append(row, f0(run.Workers[0].BandwidthMBps()), f0(run.Workers[1].BandwidthMBps()))
@@ -253,7 +253,7 @@ func runFig19() []*Result {
 
 // --- Fig 20 ---
 
-func runFig20() []*Result {
+func runFig20(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig20",
 		Title:  "4KB stream1 bandwidth (MB/s) vs stream2 IO size (same type)",
@@ -272,7 +272,7 @@ func runFig20() []*Result {
 				}
 				return p
 			}
-			run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
+			run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
 				Specs: []Spec{{Profile: mk(4096)}, {Profile: mk(size)}},
 				Warm:  microWarm, Dur: microDur, Seed: 3})
 			row = append(row, f0(run.Workers[0].BandwidthMBps()))
@@ -286,7 +286,7 @@ func runFig20() []*Result {
 
 // --- Fig 21 ---
 
-func runFig21() []*Result {
+func runFig21(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "fig21",
 		Title:  "Read stream bandwidth: standalone vs mixed with same-size writes (MB/s)",
@@ -297,9 +297,9 @@ func runFig21() []*Result {
 		for _, seq := range []bool{false, true} {
 			rd := workload.Profile{Name: "r", ReadRatio: 1, IOSize: size, QD: 32, Seq: seq}
 			wr := workload.Profile{Name: "w", ReadRatio: 0, IOSize: size, QD: 32, Seq: seq}
-			alone := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
+			alone := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
 				Specs: []Spec{{Profile: rd}}, Warm: microWarm, Dur: microDur, Seed: 3})
-			mixed := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
+			mixed := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
 				Specs: []Spec{{Profile: rd}, {Profile: wr}}, Warm: microWarm, Dur: microDur, Seed: 3})
 			row = append(row, f0(alone.Workers[0].BandwidthMBps()), f0(mixed.Workers[0].BandwidthMBps()))
 		}
@@ -311,7 +311,7 @@ func runFig21() []*Result {
 
 // --- Fig 22 / 23 ---
 
-func latVsNeighbor(id, title string, s1 workload.Profile, s1Read bool, neighborRead bool) *Result {
+func latVsNeighbor(cx *Ctx, id, title string, s1 workload.Profile, s1Read bool, neighborRead bool) *Result {
 	res := &Result{
 		ID:     id,
 		Title:  title,
@@ -329,7 +329,7 @@ func latVsNeighbor(id, title string, s1 workload.Profile, s1Read bool, neighborR
 				}
 				specs = append(specs, Spec{Profile: nb})
 			}
-			run := Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
+			run := cx.Execute(FioConfig{Scheme: fabric.SchemeVanilla, Cond: ssd.Clean,
 				Specs: specs, Warm: microWarm, Dur: microDur, Seed: 3})
 			h := run.Workers[0].ReadLat
 			if !s1Read {
@@ -342,17 +342,17 @@ func latVsNeighbor(id, title string, s1 workload.Profile, s1Read bool, neighborR
 	return res
 }
 
-func runFig22() []*Result {
+func runFig22(cx *Ctx) []*Result {
 	s1 := workload.Profile{Name: "v", ReadRatio: 1, IOSize: 4096, QD: 32}
-	r := latVsNeighbor("fig22", "4KB random read latency vs write-neighbor size (us)", s1, true, false)
+	r := latVsNeighbor(cx, "fig22", "4KB random read latency vs write-neighbor size (us)", s1, true, false)
 	r.Notef("paper shape: avg/p99.9 grow with neighbor size, flattening past 16KB when the " +
 		"writer saturates its bandwidth")
 	return []*Result{r}
 }
 
-func runFig23() []*Result {
+func runFig23(cx *Ctx) []*Result {
 	s1 := workload.Profile{Name: "v", ReadRatio: 0, IOSize: 4096, QD: 32, Seq: true}
-	r := latVsNeighbor("fig23", "4KB sequential write latency vs read-neighbor size (us)", s1, false, true)
+	r := latVsNeighbor(cx, "fig23", "4KB sequential write latency vs read-neighbor size (us)", s1, false, true)
 	r.Notef("paper shape: read neighbors inflate write tails via head-of-line blocking")
 	return []*Result{r}
 }

@@ -71,7 +71,7 @@ func MeasureOverhead(gimbal bool, workers, qd, ops int) (nsPerIO float64) {
 	return float64(el.Nanoseconds()) / float64(done)
 }
 
-func runTab1a() []*Result {
+func runTab1a(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "tab1a",
 		Title:  "Submit+complete pipeline cost per IO (4KB read, NULL device)",
@@ -95,7 +95,7 @@ func runTab1a() []*Result {
 	return []*Result{res}
 }
 
-func runTab1b() []*Result {
+func runTab1b(cx *Ctx) []*Result {
 	res := &Result{
 		ID:     "tab1b",
 		Title:  "NULL-device max IOPS (single-threaded pipeline)",

@@ -57,18 +57,16 @@ type ycsbResult struct {
 	Stalls   int64
 }
 
-// ycsbCache memoizes runs shared between figures (fig11 and fig12 report
-// two views of the same scaling sweep).
-var ycsbCache = map[string]ycsbResult{}
-
-func cachedYCSB(cfg ycsbConfig, workloadName string, seed uint64) ycsbResult {
+// cachedYCSB memoizes runs shared between result tables (fig11 and fig12
+// report two views of the same scaling sweep).
+func (cx *Ctx) cachedYCSB(cfg ycsbConfig, workloadName string, seed uint64) ycsbResult {
 	key := fmt.Sprintf("%v|%d|%d|%v|%v|%s|%d", cfg.Scheme, cfg.Instances, cfg.JBOFs,
 		cfg.NoFlowControl, cfg.NoBalance, workloadName, seed)
-	if r, ok := ycsbCache[key]; ok {
+	if r, ok := cx.ycsbCache[key]; ok {
 		return r
 	}
 	r := runYCSB(cfg, workloadName, seed)
-	ycsbCache[key] = r
+	cx.ycsbCache[key] = r
 	return r
 }
 
@@ -197,12 +195,12 @@ func runYCSB(cfg ycsbConfig, workloadName string, seed uint64) ycsbResult {
 	}
 }
 
-func runFig10() []*Result {
+func runFig10(cx *Ctx) []*Result {
 	thr := &Result{ID: "fig10", Title: "YCSB: throughput, avg and p99.9 read latency (24 instances)",
 		Header: []string{"workload", "scheme", "KIOPS", "rd_avg_us", "rd_p999_us"}}
 	for _, wl := range kvstore.YCSBWorkloads {
 		for _, scheme := range fabric.AllSchemes {
-			r := cachedYCSB(defaultYCSB(scheme, wl), wl, 11)
+			r := cx.cachedYCSB(defaultYCSB(scheme, wl), wl, 11)
 			thr.AddRow(wl, scheme.String(), f0(r.KIOPS), f0(r.ReadLat.Mean()/1e3), us(r.ReadLat.P999()))
 		}
 	}
@@ -213,7 +211,7 @@ func runFig10() []*Result {
 
 func scaleCounts() []int { return []int{4, 8, 12, 16, 20, 24} }
 
-func runFig11() []*Result {
+func runFig11(cx *Ctx) []*Result {
 	res := &Result{ID: "fig11", Title: "YCSB throughput (KIOPS) vs DB instances (Gimbal)",
 		Header: append([]string{"instances"}, kvstore.YCSBWorkloads...)}
 	for _, n := range scaleCounts() {
@@ -221,7 +219,7 @@ func runFig11() []*Result {
 		for _, wl := range kvstore.YCSBWorkloads {
 			cfg := defaultYCSB(fabric.SchemeGimbal, wl)
 			cfg.Instances = n
-			r := cachedYCSB(cfg, wl, 13)
+			r := cx.cachedYCSB(cfg, wl, 13)
 			row = append(row, f0(r.KIOPS))
 		}
 		res.AddRow(row...)
@@ -230,7 +228,7 @@ func runFig11() []*Result {
 	return []*Result{res}
 }
 
-func runFig12() []*Result {
+func runFig12(cx *Ctx) []*Result {
 	res := &Result{ID: "fig12", Title: "YCSB avg read latency (us) vs DB instances (Gimbal)",
 		Header: append([]string{"instances"}, kvstore.YCSBWorkloads...)}
 	for _, n := range scaleCounts() {
@@ -238,7 +236,7 @@ func runFig12() []*Result {
 		for _, wl := range kvstore.YCSBWorkloads {
 			cfg := defaultYCSB(fabric.SchemeGimbal, wl)
 			cfg.Instances = n
-			r := cachedYCSB(cfg, wl, 13)
+			r := cx.cachedYCSB(cfg, wl, 13)
 			row = append(row, f0(r.ReadLat.Mean()/1e3))
 		}
 		res.AddRow(row...)
@@ -247,7 +245,7 @@ func runFig12() []*Result {
 	return []*Result{res}
 }
 
-func runFig13() []*Result {
+func runFig13(cx *Ctx) []*Result {
 	res := &Result{ID: "fig13", Title: "p99.9 read latency (us): vanilla vs +FC vs +FC+LB (8 instances, 1 JBOF)",
 		Header: append([]string{"config"}, kvstore.YCSBWorkloads...)}
 	configs := []struct {
@@ -267,7 +265,7 @@ func runFig13() []*Result {
 			cfg.JBOFs = 1
 			cfg.NoFlowControl = c.noFC
 			cfg.NoBalance = c.noBalance
-			r := cachedYCSB(cfg, wl, 17)
+			r := cx.cachedYCSB(cfg, wl, 17)
 			row = append(row, us(r.ReadLat.P999()))
 		}
 		res.AddRow(row...)

@@ -120,8 +120,9 @@ func (r *FioRun) AttachWorker(p workload.Profile, tenant *nvme.Tenant, sess *fab
 }
 
 // Execute runs warmup, resets stats, runs the measured window (with
-// samples and timed events), then drains.
-func Execute(cfg FioConfig) *FioRun {
+// samples and timed events), then drains. The run's observability block is
+// recorded in the context.
+func (c *Ctx) Execute(cfg FioConfig) *FioRun {
 	r := NewFioRun(cfg)
 	start := r.Loop.Now()
 	stop := start + cfg.Warm + cfg.Dur
@@ -149,7 +150,7 @@ func Execute(cfg FioConfig) *FioRun {
 	}
 	r.Loop.RunUntil(stop)
 	r.Loop.Run() // drain in-flight completions (daemon timers don't hold it)
-	recordObsRun(cfg, r)
+	c.recordObsRun(cfg, r)
 	return r
 }
 
@@ -164,22 +165,20 @@ func (r *FioRun) AggBandwidth(keep func(*workload.Worker) bool) float64 {
 	return sum
 }
 
-// standaloneCache memoizes exclusive-run maximum bandwidth per profile.
-var standaloneCache = map[string]float64{}
-
-// StandaloneMax measures (with memoization) a profile's exclusive
-// bandwidth on a vanilla target — the denominator of f-Util (§5.1).
-func StandaloneMax(p workload.Profile, cond ssd.Condition, params ssd.Params) float64 {
+// StandaloneMax measures (with per-context memoization) a profile's
+// exclusive bandwidth on a vanilla target — the denominator of f-Util
+// (§5.1).
+func (c *Ctx) StandaloneMax(p workload.Profile, cond ssd.Condition, params ssd.Params) float64 {
 	if params.Name == "" {
 		params = ssd.DCT983()
 	}
 	key := fmt.Sprintf("%s|%v|%d|%v|%v|%d", params.Name, cond, p.IOSize, p.ReadRatio, p.Seq, p.QD)
-	if v, ok := standaloneCache[key]; ok {
+	if v, ok := c.standaloneCache[key]; ok {
 		return v
 	}
 	p.Name = "standalone"
 	p.RateLimitBps = 0
-	run := Execute(FioConfig{
+	run := c.Execute(FioConfig{
 		Scheme: fabric.SchemeVanilla,
 		Cond:   cond,
 		Params: params,
@@ -189,7 +188,7 @@ func StandaloneMax(p workload.Profile, cond ssd.Condition, params ssd.Params) fl
 		Seed:   99,
 	})
 	v := run.Workers[0].BandwidthMBps()
-	standaloneCache[key] = v
+	c.standaloneCache[key] = v
 	return v
 }
 

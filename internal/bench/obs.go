@@ -1,8 +1,6 @@
 package bench
 
 import (
-	"sync"
-
 	"gimbal/internal/obs"
 )
 
@@ -24,15 +22,9 @@ type ObsRun struct {
 	WriteAmp      float64 `json:"write_amp"`
 }
 
-// obsRuns collects the per-execution blocks; experiments run sequentially
-// but the mutex keeps the collector safe if tests parallelize.
-var (
-	obsMu   sync.Mutex
-	obsRuns []ObsRun
-)
-
-// recordObsRun snapshots a finished run's registry into the collector.
-func recordObsRun(cfg FioConfig, r *FioRun) {
+// recordObsRun snapshots a finished run's registry into the context's
+// collector.
+func (c *Ctx) recordObsRun(cfg FioConfig, r *FioRun) {
 	if r.Reg == nil {
 		return
 	}
@@ -52,18 +44,5 @@ func recordObsRun(cfg FioConfig, r *FioRun) {
 	if n := len(r.Devices); n > 0 {
 		run.WriteAmp = obs.SumMetric(snap, "ssd_write_amplification") / float64(n)
 	}
-	obsMu.Lock()
-	obsRuns = append(obsRuns, run)
-	obsMu.Unlock()
-}
-
-// DrainObsRuns returns and clears the observability blocks accumulated by
-// Execute since the previous drain. cmd/gimbalbench calls it after each
-// experiment so the JSON report carries an observability section.
-func DrainObsRuns() []ObsRun {
-	obsMu.Lock()
-	defer obsMu.Unlock()
-	out := obsRuns
-	obsRuns = nil
-	return out
+	c.obsRuns = append(c.obsRuns, run)
 }

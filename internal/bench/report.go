@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Result is one experiment's output: a titled table plus optional notes
@@ -81,9 +83,13 @@ func (r *Result) WriteCSV(w io.Writer) {
 
 // Report is one experiment's JSON document: its result tables plus the
 // observability blocks of every harness execution the experiment ran.
+// WallSeconds is the host wall-clock time of the run; it is the one field
+// that varies between repetitions, so byte-identity comparisons of reports
+// must zero it first.
 type Report struct {
 	Experiment    string    `json:"experiment"`
 	Title         string    `json:"title"`
+	WallSeconds   float64   `json:"wall_seconds"`
 	Results       []*Result `json:"results"`
 	Observability []ObsRun  `json:"observability,omitempty"`
 }
@@ -95,17 +101,19 @@ func (rp *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(rp)
 }
 
-// Experiment is a registered runner.
+// Experiment is a registered runner. Run receives a fresh context per
+// invocation and must keep all mutable state there, so experiments can run
+// on concurrent goroutines.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() []*Result
+	Run   func(c *Ctx) []*Result
 }
 
 var registry = map[string]*Experiment{}
 var order []string
 
-func register(id, title string, run func() []*Result) {
+func register(id, title string, run func(c *Ctx) []*Result) {
 	if _, dup := registry[id]; dup {
 		panic("bench: duplicate experiment " + id)
 	}
@@ -124,6 +132,83 @@ func IDs() []string {
 	out := append([]string(nil), order...)
 	sort.Strings(out)
 	return out
+}
+
+// RunReport executes one experiment in a fresh context and packages its
+// results, observability blocks, and wall time as a Report.
+func RunReport(e *Experiment) *Report {
+	c := NewCtx()
+	start := time.Now()
+	results := e.Run(c)
+	return &Report{
+		Experiment:    e.ID,
+		Title:         e.Title,
+		WallSeconds:   time.Since(start).Seconds(),
+		Results:       results,
+		Observability: c.DrainObsRuns(),
+	}
+}
+
+// RunAll executes the named experiments over a pool of parallel workers
+// and returns their reports in input order. Each experiment runs in its
+// own context (own simulations, own RNG seeds, own caches), so every
+// report is bit-identical — apart from WallSeconds — at any parallelism
+// level, including parallel == 1, which reproduces the serial sweep
+// exactly. emit, if non-nil, is invoked in input order as soon as a report
+// and all of its predecessors have completed, allowing streamed output.
+func RunAll(ids []string, parallel int, emit func(*Report)) ([]*Report, error) {
+	exps := make([]*Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+
+	reports := make([]*Report, len(exps))
+	work := make(chan int)
+	ready := make(chan int, len(exps))
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				reports[i] = RunReport(exps[i])
+				ready <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(ready)
+	}()
+
+	// Emit in input order as prefixes complete (the ready channel's
+	// receive orders each reports[i] write before its read here).
+	done := make([]bool, len(exps))
+	next := 0
+	for i := range ready {
+		done[i] = true
+		for next < len(exps) && done[next] {
+			if emit != nil {
+				emit(reports[next])
+			}
+			next++
+		}
+	}
+	return reports, nil
 }
 
 // f1 formats a float with one decimal.

@@ -83,8 +83,9 @@ func TestStandaloneMaxMemoized(t *testing.T) {
 	params.UsableBytes = 512 << 20
 	params.Name = "memo-test"
 	p := read4K()
-	v1 := StandaloneMax(p, ssd.Clean, params)
-	v2 := StandaloneMax(p, ssd.Clean, params)
+	cx := NewCtx()
+	v1 := cx.StandaloneMax(p, ssd.Clean, params)
+	v2 := cx.StandaloneMax(p, ssd.Clean, params)
 	if v1 != v2 {
 		t.Fatalf("memoized values differ: %v vs %v", v1, v2)
 	}

@@ -1,13 +1,11 @@
 // Package sched implements Gimbal's two-level hierarchical IO scheduler
 // (§3.5): a deficit-round-robin scheduler over tenants using cost-weighted
 // IO sizes, integrated with the virtual-slot mechanism (active/deferred
-// tenant lists, deficit freezing while deferred), and per-tenant weighted
+// tenant lists, deferred freezing while deferred), and per-tenant weighted
 // priority queues cycled when filling a slot.
 package sched
 
 import (
-	"container/list"
-
 	"gimbal/internal/core/vslot"
 	"gimbal/internal/nvme"
 )
@@ -32,10 +30,48 @@ const (
 	deferred
 )
 
+// ioQueue is a FIFO of IOs that keeps its backing array across the
+// empty/non-empty cycle a closed-loop workload drives it through: pops
+// advance a head index instead of reslicing, so steady-state enqueues reuse
+// capacity rather than allocating.
+type ioQueue struct {
+	buf  []*nvme.IO
+	head int
+}
+
+func (q *ioQueue) len() int { return len(q.buf) - q.head }
+
+func (q *ioQueue) front() *nvme.IO { return q.buf[q.head] }
+
+func (q *ioQueue) push(io *nvme.IO) {
+	if q.head > 0 && q.head == len(q.buf) {
+		// Drained: rewind to reuse the full capacity.
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
+		// Mostly-consumed prefix under sustained load: slide down in place.
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, io)
+}
+
+func (q *ioQueue) pop() *nvme.IO {
+	io := q.buf[q.head]
+	q.buf[q.head] = nil // release for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return io
+}
+
 // tenant is the scheduler's per-tenant state.
 type tenant struct {
 	t      *nvme.Tenant
-	queues [nvme.NumPriorities][]*nvme.IO
+	queues [nvme.NumPriorities]ioQueue
 	queued int
 
 	// Weighted priority cycling within a slot.
@@ -46,7 +82,11 @@ type tenant struct {
 	slots   *vslot.Tenant
 
 	where listKind
-	elem  *list.Element // position in the active list
+
+	// Intrusive active-list links: membership costs no allocation, unlike
+	// a container/list element per activation.
+	next, prev *tenant
+	onList     bool
 }
 
 func (ts *tenant) empty() bool { return ts.queued == 0 }
@@ -58,16 +98,16 @@ func (ts *tenant) head() *nvme.IO {
 		return nil
 	}
 	for i := 0; i < int(nvme.NumPriorities); i++ {
-		if ts.prioBudget > 0 && len(ts.queues[ts.prio]) > 0 {
-			return ts.queues[ts.prio][0]
+		if ts.prioBudget > 0 && ts.queues[ts.prio].len() > 0 {
+			return ts.queues[ts.prio].front()
 		}
 		ts.prio = (ts.prio + 1) % nvme.NumPriorities
 		ts.prioBudget = ts.prio.Weight()
 	}
 	// Budget exhausted on an empty class but IOs exist elsewhere: retry.
 	for i := 0; i < int(nvme.NumPriorities); i++ {
-		if len(ts.queues[ts.prio]) > 0 {
-			return ts.queues[ts.prio][0]
+		if ts.queues[ts.prio].len() > 0 {
+			return ts.queues[ts.prio].front()
 		}
 		ts.prio = (ts.prio + 1) % nvme.NumPriorities
 		ts.prioBudget = ts.prio.Weight()
@@ -77,15 +117,64 @@ func (ts *tenant) head() *nvme.IO {
 
 // pop removes the IO previously returned by head.
 func (ts *tenant) pop(io *nvme.IO) {
-	q := ts.queues[io.Priority]
-	if len(q) == 0 || q[0] != io {
+	q := &ts.queues[io.Priority]
+	if q.len() == 0 || q.front() != io {
 		panic("sched: pop of non-head IO")
 	}
-	ts.queues[io.Priority] = q[1:]
+	q.pop()
 	ts.queued--
 	if io.Priority == ts.prio && ts.prioBudget > 0 {
 		ts.prioBudget--
 	}
+}
+
+// tenantList is an intrusive doubly-linked list of tenants.
+type tenantList struct {
+	head, tail *tenant
+	size       int
+}
+
+func (l *tenantList) pushBack(ts *tenant) {
+	if ts.onList {
+		panic("sched: tenant already on active list")
+	}
+	ts.onList = true
+	ts.prev = l.tail
+	ts.next = nil
+	if l.tail != nil {
+		l.tail.next = ts
+	} else {
+		l.head = ts
+	}
+	l.tail = ts
+	l.size++
+}
+
+func (l *tenantList) remove(ts *tenant) {
+	if !ts.onList {
+		return
+	}
+	if ts.prev != nil {
+		ts.prev.next = ts.next
+	} else {
+		l.head = ts.next
+	}
+	if ts.next != nil {
+		ts.next.prev = ts.prev
+	} else {
+		l.tail = ts.prev
+	}
+	ts.next, ts.prev = nil, nil
+	ts.onList = false
+	l.size--
+}
+
+func (l *tenantList) moveToBack(ts *tenant) {
+	if ts == l.tail {
+		return
+	}
+	l.remove(ts)
+	l.pushBack(ts)
 }
 
 // DRR is the hierarchical fair scheduler. It owns queueing and fairness
@@ -95,19 +184,22 @@ type DRR struct {
 	weighted func(io *nvme.IO) int64 // cost-weighted size (from writecost)
 
 	tenants    map[*nvme.Tenant]*tenant
-	activeList *list.List // of *tenant
+	activeList tenantList
 	deferCount int
 	activeIO   int // tenants considered "contending" for slot distribution
+
+	// all mirrors the tenants map as a slice so redistribute — which runs
+	// on every contend/release — avoids map iteration.
+	all []*tenant
 }
 
 // New returns a DRR scheduler. weighted computes the cost-weighted size of
 // an IO at dispatch time.
 func New(cfg Config, weighted func(io *nvme.IO) int64) *DRR {
 	return &DRR{
-		cfg:        cfg,
-		weighted:   weighted,
-		tenants:    make(map[*nvme.Tenant]*tenant),
-		activeList: list.New(),
+		cfg:      cfg,
+		weighted: weighted,
+		tenants:  make(map[*nvme.Tenant]*tenant),
 	}
 }
 
@@ -116,11 +208,13 @@ func (d *DRR) Register(t *nvme.Tenant) {
 	if _, ok := d.tenants[t]; ok {
 		return
 	}
-	d.tenants[t] = &tenant{
+	ts := &tenant{
 		t:          t,
 		slots:      vslot.NewTenant(d.cfg.Slots),
 		prioBudget: nvme.PriorityHigh.Weight(),
 	}
+	d.tenants[t] = ts
+	d.all = append(d.all, ts)
 }
 
 // Slots exposes a tenant's virtual-slot state (for credit computation).
@@ -136,7 +230,7 @@ func (d *DRR) Enqueue(io *nvme.IO) {
 		panic("sched: Enqueue for unregistered tenant " + io.Tenant.Name)
 	}
 	wasEmpty := ts.empty()
-	ts.queues[io.Priority] = append(ts.queues[io.Priority], io)
+	ts.queues[io.Priority].push(io)
 	ts.queued++
 	if wasEmpty && ts.where == idle {
 		d.contend(ts)
@@ -172,20 +266,19 @@ func (d *DRR) redistribute() {
 	if per < 1 {
 		per = 1
 	}
-	for _, ts := range d.tenants {
+	for _, ts := range d.all {
 		ts.slots.SetAllot(per)
 	}
 }
 
 func (d *DRR) activate(ts *tenant) {
 	ts.where = active
-	ts.elem = d.activeList.PushBack(ts)
+	d.activeList.pushBack(ts)
 }
 
 func (d *DRR) defer_(ts *tenant) {
-	if ts.where == active && ts.elem != nil {
-		d.activeList.Remove(ts.elem)
-		ts.elem = nil
+	if ts.where == active {
+		d.activeList.remove(ts)
 	}
 	ts.where = deferred
 	ts.deficit = 0 // frozen at zero while deferred (§3.5)
@@ -193,9 +286,8 @@ func (d *DRR) defer_(ts *tenant) {
 }
 
 func (d *DRR) idle_(ts *tenant) {
-	if ts.where == active && ts.elem != nil {
-		d.activeList.Remove(ts.elem)
-		ts.elem = nil
+	if ts.where == active {
+		d.activeList.remove(ts)
 	}
 	if ts.where == deferred {
 		d.deferCount--
@@ -211,8 +303,8 @@ func (d *DRR) idle_(ts *tenant) {
 // once a dispatchable IO is found: calling it again without Commit returns
 // the same IO with no extra deficit.
 func (d *DRR) Select() *nvme.IO {
-	for d.activeList.Len() > 0 {
-		ts := d.activeList.Front().Value.(*tenant)
+	for d.activeList.size > 0 {
+		ts := d.activeList.head
 		io := ts.head()
 		if io == nil {
 			// No queued work: leave the lists entirely.
@@ -225,7 +317,7 @@ func (d *DRR) Select() *nvme.IO {
 		}
 		// Grant a quantum and move to the back (classic DRR round).
 		ts.deficit += d.cfg.Quantum * int64(ts.t.Weight)
-		d.activeList.MoveToBack(ts.elem)
+		d.activeList.moveToBack(ts)
 	}
 	return nil
 }
@@ -268,7 +360,7 @@ func (d *DRR) Complete(io *nvme.IO) (credit uint32) {
 }
 
 // ActiveTenants returns the number of tenants on the active list.
-func (d *DRR) ActiveTenants() int { return d.activeList.Len() }
+func (d *DRR) ActiveTenants() int { return d.activeList.size }
 
 // DeferredTenants returns the number of deferred tenants.
 func (d *DRR) DeferredTenants() int { return d.deferCount }
@@ -276,7 +368,7 @@ func (d *DRR) DeferredTenants() int { return d.deferCount }
 // Queued returns the total queued IO count (for tests and stats).
 func (d *DRR) Queued() int {
 	n := 0
-	for _, ts := range d.tenants {
+	for _, ts := range d.all {
 		n += ts.queued
 	}
 	return n

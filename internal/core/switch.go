@@ -69,7 +69,14 @@ type Switch struct {
 	wmon  *latmon.Monitor
 	rate  *ratectl.Engine
 	cost  *writecost.Estimator
-	timer *sim.Event
+	timer sim.Timer
+
+	// Cached method-value closures: arming the pacing timer, the cost
+	// tick, and the per-IO device completion callback; binding the method
+	// at each use would allocate on the hot path.
+	pumpFn     func()
+	costTickFn func()
+	devDoneFn  func(*nvme.IO)
 
 	writesInPeriod int
 	pumping        bool
@@ -97,7 +104,10 @@ func New(clk sim.Scheduler, dev ssd.Device, cfg Config) *Switch {
 		cost: writecost.New(cfg.Cost),
 	}
 	sw.drr = sched.New(cfg.Sched, sw.weighted)
-	clk.After(cfg.CostPeriod, sw.costTick).MarkDaemon()
+	sw.pumpFn = sw.pump
+	sw.costTickFn = sw.costTick
+	sw.devDoneFn = sw.onDeviceDone
+	clk.After(cfg.CostPeriod, sw.costTickFn).MarkDaemon()
 	return sw
 }
 
@@ -142,10 +152,7 @@ func (sw *Switch) pump() {
 	sw.pumping = true
 	defer func() { sw.pumping = false }()
 
-	if sw.timer != nil {
-		sw.timer.Cancel()
-		sw.timer = nil
-	}
+	sw.timer.Cancel()
 	now := sw.clk.Now()
 	for {
 		sw.rate.Refill(now, sw.cost.Cost())
@@ -168,12 +175,12 @@ func (sw *Switch) pump() {
 			if wait < sim.Microsecond {
 				wait = sim.Microsecond
 			}
-			sw.timer = sw.clk.After(wait, sw.pump)
+			sw.timer = sw.clk.After(wait, sw.pumpFn)
 			return
 		}
 		sw.drr.Commit(io)
 		sw.submits.Add(1)
-		sw.sub.Submit(io, sw.onDeviceDone)
+		sw.sub.Submit(io, sw.devDoneFn)
 	}
 }
 
@@ -211,7 +218,7 @@ func (sw *Switch) onDeviceDone(io *nvme.IO) {
 // elevated.
 func (sw *Switch) costTick() {
 	defer func() {
-		sw.clk.After(sw.cfg.CostPeriod, sw.costTick).MarkDaemon()
+		sw.clk.After(sw.cfg.CostPeriod, sw.costTickFn).MarkDaemon()
 	}()
 	if sw.cfg.DisableDynamicCost {
 		return

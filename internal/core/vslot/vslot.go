@@ -44,6 +44,11 @@ type Tenant struct {
 	// lastCount is the IO count of the latest completed slot, the basis of
 	// the credit computation (§3.6).
 	lastCount int
+
+	// free recycles drained slots: a slot is reusable the moment its last
+	// IO completes, so the steady state churns a handful of slots with no
+	// per-slot allocation.
+	free []*Slot
 }
 
 // NewTenant returns slot state with the full allotment and one open slot.
@@ -100,10 +105,13 @@ func (t *Tenant) Submit(weighted int64) *Slot {
 func (t *Tenant) Complete(s *Slot) (freed bool, count int) {
 	s.completions++
 	if s.full && s.submits == s.completions {
-		t.lastCount = s.submits
+		count = s.submits
+		t.lastCount = count
 		t.inUse--
+		*s = Slot{} // no IO references the slot any more: recycle it
+		t.free = append(t.free, s)
 		t.tryOpen()
-		return true, s.submits
+		return true, count
 	}
 	return false, 0
 }
@@ -111,7 +119,12 @@ func (t *Tenant) Complete(s *Slot) (freed bool, count int) {
 // tryOpen opens a new slot when under the allotment and none is open.
 func (t *Tenant) tryOpen() {
 	if t.cur == nil && t.inUse < t.allot {
-		t.cur = &Slot{}
+		if n := len(t.free); n > 0 {
+			t.cur = t.free[n-1]
+			t.free = t.free[:n-1]
+		} else {
+			t.cur = &Slot{}
+		}
 		t.inUse++
 	}
 }

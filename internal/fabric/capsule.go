@@ -64,13 +64,27 @@ func AppendCommand(buf []byte, c *CommandCapsule) []byte {
 
 // DecodeCommand parses a command capsule, returning the bytes consumed.
 func DecodeCommand(buf []byte) (*CommandCapsule, int, error) {
+	c := &CommandCapsule{}
+	n, err := DecodeCommandInto(c, buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, n, nil
+}
+
+// DecodeCommandInto parses a command capsule into c, reusing the capacity
+// of c.Data for the payload copy, and returns the bytes consumed. It lets a
+// connection loop decode every command into one long-lived capsule with no
+// per-message allocation.
+func DecodeCommandInto(c *CommandCapsule, buf []byte) (int, error) {
 	if len(buf) < cmdHeaderLen {
-		return nil, 0, fmt.Errorf("fabric: short command capsule: %d bytes", len(buf))
+		return 0, fmt.Errorf("fabric: short command capsule: %d bytes", len(buf))
 	}
 	if buf[0] != capCommand {
-		return nil, 0, fmt.Errorf("fabric: not a command capsule: tag 0x%02x", buf[0])
+		return 0, fmt.Errorf("fabric: not a command capsule: tag 0x%02x", buf[0])
 	}
-	c := &CommandCapsule{
+	data := c.Data[:0]
+	*c = CommandCapsule{
 		CID:      binary.BigEndian.Uint16(buf[1:]),
 		Opcode:   nvme.Opcode(buf[3]),
 		Priority: nvme.Priority(buf[4]),
@@ -80,12 +94,12 @@ func DecodeCommand(buf []byte) (*CommandCapsule, int, error) {
 	}
 	dataLen := int(binary.BigEndian.Uint32(buf[18:]))
 	if len(buf) < cmdHeaderLen+dataLen {
-		return nil, 0, fmt.Errorf("fabric: command capsule truncated: want %d data bytes", dataLen)
+		return 0, fmt.Errorf("fabric: command capsule truncated: want %d data bytes", dataLen)
 	}
 	if dataLen > 0 {
-		c.Data = append([]byte(nil), buf[cmdHeaderLen:cmdHeaderLen+dataLen]...)
+		c.Data = append(data, buf[cmdHeaderLen:cmdHeaderLen+dataLen]...)
 	}
-	return c, cmdHeaderLen + dataLen, nil
+	return cmdHeaderLen + dataLen, nil
 }
 
 // AppendResponse serializes r onto buf.

@@ -34,6 +34,12 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 func readFrame(r *bufio.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one frame, reusing scratch's capacity when it
+// suffices so a connection loop amortizes its read buffer.
+func readFrameInto(r *bufio.Reader, scratch []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -42,12 +48,32 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	var buf []byte
+	if uint32(cap(scratch)) >= n {
+		buf = scratch[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
 }
+
+// framePool recycles encode buffers for frames whose ownership passes
+// through a writer goroutine: the sender encodes into a pooled buffer and
+// the writer returns it after the socket write.
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
+func getFrame() *frameBuf {
+	f := framePool.Get().(*frameBuf)
+	f.b = f.b[:0]
+	return f
+}
+
+func putFrame(f *frameBuf) { framePool.Put(f) }
 
 // TCPTarget serves a Target over TCP. Devices must have been built against
 // the provided RealScheduler; all pipeline access is serialized by its
@@ -167,13 +193,15 @@ func (t *TCPTarget) serveConn(conn net.Conn) {
 		t.connMu.Unlock()
 		conn.Close()
 	}()
-	out := make(chan []byte, 4096)
+	out := make(chan *frameBuf, 4096)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		w := bufio.NewWriter(conn)
 		for frame := range out {
-			if err := writeFrame(w, frame); err != nil {
+			err := writeFrame(w, frame.b)
+			putFrame(frame)
+			if err != nil {
 				return
 			}
 			if len(out) == 0 {
@@ -184,27 +212,32 @@ func (t *TCPTarget) serveConn(conn net.Conn) {
 		}
 	}()
 
-	// One tenant per namespace on this connection.
+	// One tenant per namespace on this connection. The command capsule and
+	// the frame buffer are reused across iterations: handle consumes the
+	// capsule synchronously and retains nothing from it.
 	tenants := map[uint8]*nvme.Tenant{}
 	r := bufio.NewReaderSize(conn, 256<<10)
+	var scratch []byte
+	var cmd CommandCapsule
 	for {
-		frame, err := readFrame(r)
+		frame, err := readFrameInto(r, scratch)
 		if err != nil {
 			break
 		}
-		cmd, _, err := DecodeCommand(frame)
-		if err != nil {
+		scratch = frame
+		if _, err := DecodeCommandInto(&cmd, frame); err != nil {
 			break
 		}
-		t.handle(cmd, tenants, out)
+		t.handle(&cmd, tenants, out)
 	}
 	close(out)
 	<-done
 }
 
 // handle injects one command into the right pipeline under the scheduler
-// lock and arranges the response frame.
-func (t *TCPTarget) handle(cmd *CommandCapsule, tenants map[uint8]*nvme.Tenant, out chan<- []byte) {
+// lock and arranges the response frame. The capsule is owned by the caller
+// and reused for the next command, so nothing here may retain it.
+func (t *TCPTarget) handle(cmd *CommandCapsule, tenants map[uint8]*nvme.Tenant, out chan<- *frameBuf) {
 	if t.rxCapsules != nil {
 		t.rxCapsules.Inc()
 	}
@@ -214,19 +247,22 @@ func (t *TCPTarget) handle(cmd *CommandCapsule, tenants map[uint8]*nvme.Tenant, 
 		if t.txCapsules != nil {
 			t.txCapsules.Inc()
 		}
-		frame := AppendResponse(nil, rsp)
+		frame := getFrame()
+		frame.b = AppendResponse(frame.b, rsp)
 		select {
 		case out <- frame:
 		default:
 			// Writer stalled beyond the outbound buffer: the client has
 			// violated flow control badly enough that dropping the
 			// connection is the only safe recovery.
+			putFrame(frame)
 		}
 	}
 	if int(cmd.NSID) >= t.target.SSDs() {
 		respond(&ResponseCapsule{CID: cmd.CID, Status: nvme.StatusInvalidOp})
 		return
 	}
+	cid := cmd.CID
 	wantData := cmd.Opcode == nvme.OpRead
 	size := int(cmd.Length)
 	io := &nvme.IO{
@@ -235,7 +271,7 @@ func (t *TCPTarget) handle(cmd *CommandCapsule, tenants map[uint8]*nvme.Tenant, 
 		Size:     size,
 		Priority: cmd.Priority,
 		Done: func(_ *nvme.IO, cpl nvme.Completion) {
-			rsp := &ResponseCapsule{CID: cmd.CID, Status: cpl.Status, Credit: cpl.Credit}
+			rsp := &ResponseCapsule{CID: cid, Status: cpl.Status, Credit: cpl.Credit}
 			if wantData && cpl.Status == nvme.StatusOK {
 				// The simulated SSD stores no payloads; serve zeroes so the
 				// wire carries realistic volume.
@@ -401,13 +437,15 @@ func (c *TCPClient) sendLocked(call *pendingCall) {
 	call.cmd.CID = c.nextCID
 	c.pending[c.nextCID] = call
 	c.gate.OnSubmit()
-	frame := AppendCommand(nil, call.cmd)
+	frame := getFrame()
+	frame.b = AppendCommand(frame.b, call.cmd)
 	go func() {
 		c.wmu.Lock()
 		defer c.wmu.Unlock()
-		if err := writeFrame(c.bw, frame); err == nil {
+		if err := writeFrame(c.bw, frame.b); err == nil {
 			c.bw.Flush()
 		}
+		putFrame(frame)
 	}()
 }
 

@@ -119,6 +119,11 @@ type IO struct {
 
 	// Sched is per-IO scratch space owned by the active scheduler.
 	Sched any
+
+	// req and devDone are owned by Submitter.Submit: the device request is
+	// embedded in the IO so the egress path performs no per-IO allocation.
+	req     ssd.Request
+	devDone func(*IO)
 }
 
 // DeviceLatency is the raw device service time (what Gimbal's latency
@@ -201,19 +206,27 @@ func CompletionStatus(io *IO) Status {
 }
 
 // Submit sends the IO to the device, stamping DevSubmit/DevDone and calling
-// done on completion. The caller must have validated with Check.
+// done on completion. The caller must have validated with Check. The device
+// request is the IO's embedded one, so Submit allocates nothing; an IO may
+// have at most one device request outstanding at a time.
 func (s *Submitter) Submit(io *IO, done func(*IO)) {
 	io.DevSubmit = s.Sched.Now()
-	r := &ssd.Request{
+	io.devDone = done
+	io.req = ssd.Request{
 		Kind:   io.Op.Kind(),
 		Offset: io.Offset,
 		Size:   io.Size,
 		Tag:    io,
-		Done: func(r *ssd.Request) {
-			io.DevDone = r.CompleteTime
-			io.Failed = r.MediaErr
-			done(io)
-		},
+		Done:   reqDone,
 	}
-	s.Dev.Submit(r)
+	s.Dev.Submit(&io.req)
+}
+
+// reqDone routes a device completion back to the IO's waiter. A top-level
+// function value, unlike a per-IO closure, costs no allocation.
+func reqDone(r *ssd.Request) {
+	io := r.Tag.(*IO)
+	io.DevDone = r.CompleteTime
+	io.Failed = r.MediaErr
+	io.devDone(io)
 }

@@ -1,7 +1,8 @@
 // Package sim provides the deterministic discrete-event simulation engine
-// that underpins every experiment in this repository: a virtual clock, a
-// binary-heap event queue, a cooperative process layer for writing blocking
-// workload code, and a seeded random number generator.
+// that underpins every experiment in this repository: a virtual clock, an
+// arena-backed 4-ary-heap event queue with value-type timer handles, a
+// cooperative process layer for writing blocking workload code, and a
+// seeded random number generator.
 //
 // The same component code (SSD model, Gimbal pipeline, transports) also runs
 // against the wall clock: Scheduler is an interface, and RealScheduler
@@ -20,10 +21,10 @@ type Scheduler interface {
 	// Now returns the current time in nanoseconds since the epoch.
 	Now() int64
 	// At schedules fn to run at absolute time t (clamped to Now for past
-	// times). It returns a handle that can cancel the event.
-	At(t int64, fn func()) *Event
+	// times). It returns a value-type handle that can cancel the event.
+	At(t int64, fn func()) Timer
 	// After schedules fn to run d nanoseconds from now.
-	After(d int64, fn func()) *Event
+	After(d int64, fn func()) Timer
 }
 
 // Common durations in nanoseconds, for readability at call sites.

@@ -146,6 +146,171 @@ func TestLoopOrderingProperty(t *testing.T) {
 	}
 }
 
+func TestLoopCancelAfterFire(t *testing.T) {
+	l := NewLoop()
+	fires := 0
+	e := l.After(10, func() { fires = 1 })
+	l.Run()
+	if fires != 1 {
+		t.Fatal("event did not fire")
+	}
+	if e.Active() {
+		t.Fatal("Active() = true after fire")
+	}
+	// Cancel on a fired handle must be a no-op: the arena slot may already
+	// host a different event, and the generation check must protect it.
+	victim := false
+	l.After(5, func() { victim = true }) // likely reuses the freed slot
+	e.Cancel()
+	l.Run()
+	if !victim {
+		t.Fatal("Cancel on a fired handle killed an unrelated event in the recycled slot")
+	}
+}
+
+func TestLoopCancelTwice(t *testing.T) {
+	l := NewLoop()
+	e := l.After(10, func() { t.Error("cancelled event fired") })
+	e.Cancel()
+	e.Cancel() // second cancel must not double-decrement counters
+	if l.Pending() != 0 {
+		t.Fatalf("Pending = %d after double cancel, want 0", l.Pending())
+	}
+	if l.Live() != 0 {
+		t.Fatalf("Live = %d after double cancel, want 0", l.Live())
+	}
+	// Schedule another event; a corrupted foreground count would end Run early.
+	fired := false
+	l.After(20, func() { fired = true })
+	l.Run()
+	if !fired {
+		t.Fatal("event after double cancel did not fire")
+	}
+}
+
+func TestLoopZeroTimer(t *testing.T) {
+	var e Timer
+	if e.Active() {
+		t.Fatal("zero Timer is Active")
+	}
+	if !e.Cancelled() {
+		t.Fatal("zero Timer not Cancelled")
+	}
+	e.Cancel() // must not panic
+	if e.When() != 0 {
+		t.Fatalf("zero Timer When = %d", e.When())
+	}
+}
+
+func TestLoopDaemonDoesNotKeepRunAlive(t *testing.T) {
+	l := NewLoop()
+	work := 0
+	var tick func()
+	tick = func() {
+		l.After(10, tick).MarkDaemon()
+	}
+	l.After(10, tick).MarkDaemon()
+	l.After(35, func() { work = 1 })
+	l.Run()
+	if work != 1 {
+		t.Fatal("foreground event did not fire")
+	}
+	// Run stops once foreground work drains; the daemon timer stays queued.
+	if l.Now() != 35 {
+		t.Fatalf("Run overran foreground work: now = %d, want 35", l.Now())
+	}
+	if l.Pending() != 1 || l.Live() != 0 {
+		t.Fatalf("Pending/Live = %d/%d, want 1/0 (one queued daemon)", l.Pending(), l.Live())
+	}
+}
+
+func TestLoopMarkDaemonTwice(t *testing.T) {
+	l := NewLoop()
+	e := l.After(10, func() {}).MarkDaemon()
+	e.MarkDaemon() // must not double-decrement foreground
+	fired := false
+	l.After(5, func() { fired = true })
+	l.Run()
+	if !fired {
+		t.Fatal("foreground event did not fire after double MarkDaemon")
+	}
+}
+
+func TestLoopMarkDaemonAfterFire(t *testing.T) {
+	l := NewLoop()
+	e := l.After(10, func() {})
+	l.Run()
+	e.MarkDaemon() // stale handle: must be a no-op on the recycled slot
+	fired := false
+	l.After(5, func() { fired = true }) // may reuse e's slot
+	l.Run()
+	if !fired {
+		t.Fatal("MarkDaemon on fired handle corrupted the recycled slot")
+	}
+}
+
+func TestLoopCancelledDaemonAccounting(t *testing.T) {
+	l := NewLoop()
+	d := l.After(10, func() {}).MarkDaemon()
+	d.Cancel()
+	if l.Pending() != 0 || l.Live() != 0 {
+		t.Fatalf("Pending/Live = %d/%d after daemon cancel, want 0/0", l.Pending(), l.Live())
+	}
+	fired := false
+	l.After(5, func() { fired = true })
+	l.Run()
+	if !fired {
+		t.Fatal("event did not fire after cancelling a daemon")
+	}
+}
+
+func TestLoopPendingQueuedLazyCancel(t *testing.T) {
+	l := NewLoop()
+	timers := make([]Timer, 8)
+	for i := range timers {
+		timers[i] = l.After(int64(10+i), func() {})
+	}
+	if l.Pending() != 8 || l.Live() != 8 || l.Queued() != 8 {
+		t.Fatalf("Pending/Live/Queued = %d/%d/%d, want 8/8/8", l.Pending(), l.Live(), l.Queued())
+	}
+	for _, e := range timers[:5] {
+		e.Cancel()
+	}
+	// Cancelled entries leave Pending immediately but linger in the raw
+	// queue until popped or compacted.
+	if l.Pending() != 3 || l.Live() != 3 {
+		t.Fatalf("Pending/Live = %d/%d after 5 cancels, want 3/3", l.Pending(), l.Live())
+	}
+	if l.Queued() != 8 {
+		t.Fatalf("Queued = %d, want 8 (lazy cancel keeps slots)", l.Queued())
+	}
+	l.Run()
+	if l.Pending() != 0 || l.Queued() != 0 {
+		t.Fatalf("Pending/Queued = %d/%d after Run, want 0/0", l.Pending(), l.Queued())
+	}
+}
+
+func TestLoopCompactionUnderChurn(t *testing.T) {
+	// Schedule-and-cancel churn behind a far-future event: compaction must
+	// keep the raw queue bounded instead of letting cancelled entries pile
+	// up behind the long-lived one.
+	l := NewLoop()
+	l.At(1<<40, func() {})
+	for i := 0; i < 10000; i++ {
+		l.After(int64(1000+i), func() {}).Cancel()
+	}
+	if q := l.Queued(); q > 256 {
+		t.Fatalf("Queued = %d after churn, want compacted (<= 256)", q)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", l.Pending())
+	}
+	l.Run()
+	if l.Now() != 1<<40 {
+		t.Fatalf("clock = %d, want 1<<40", l.Now())
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 1000; i++ {

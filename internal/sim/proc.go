@@ -18,6 +18,9 @@ type Proc struct {
 	yield  chan struct{}
 	parked bool
 	done   bool
+	// wakeFn is the cached nil-valued wake callback, so Sleep schedules
+	// without allocating a fresh closure per call.
+	wakeFn func()
 }
 
 // Spawn creates a process and schedules it to start immediately (as an
@@ -25,6 +28,7 @@ type Proc struct {
 // cooperative handshake; when fn returns the process ends.
 func (l *Loop) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{loop: l, name: name, resume: make(chan any), yield: make(chan struct{})}
+	p.wakeFn = func() { p.wake(nil) }
 	go func() {
 		<-p.resume // wait for the start event
 		fn(p)
@@ -32,7 +36,7 @@ func (l *Loop) Spawn(name string, fn func(*Proc)) *Proc {
 		p.yield <- struct{}{}
 	}()
 	p.parked = true
-	l.After(0, func() { p.wake(nil) })
+	l.After(0, p.wakeFn)
 	return p
 }
 
@@ -76,7 +80,7 @@ func (p *Proc) Wake(v any) { p.wake(v) }
 
 // Sleep suspends the process for d nanoseconds of virtual time.
 func (p *Proc) Sleep(d int64) {
-	p.loop.After(d, func() { p.wake(nil) })
+	p.loop.After(d, p.wakeFn)
 	p.Park()
 }
 

@@ -31,8 +31,18 @@ func (s *RealScheduler) Unlock() { s.mu.Unlock() }
 // Now implements Scheduler.
 func (s *RealScheduler) Now() int64 { return int64(time.Since(s.epoch)) }
 
+// realEvent is the control block behind a wall-clock Timer. Unlike loop
+// events it is heap-allocated per schedule — the real transport is not the
+// simulation hot path. Cancellation follows the same discipline as before:
+// the firing callback checks fn under the scheduler lock, and callers
+// cancel from scheduler context.
+type realEvent struct {
+	when int64
+	fn   func()
+}
+
 // At implements Scheduler.
-func (s *RealScheduler) At(t int64, fn func()) *Event {
+func (s *RealScheduler) At(t int64, fn func()) Timer {
 	d := t - s.Now()
 	if d < 0 {
 		d = 0
@@ -41,12 +51,12 @@ func (s *RealScheduler) At(t int64, fn func()) *Event {
 }
 
 // After implements Scheduler. The callback runs holding the scheduler lock.
-func (s *RealScheduler) After(d int64, fn func()) *Event {
+func (s *RealScheduler) After(d int64, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	e := &Event{when: s.Now() + d, fn: fn}
-	timer := time.AfterFunc(time.Duration(d), func() {
+	e := &realEvent{when: s.Now() + d, fn: fn}
+	time.AfterFunc(time.Duration(d), func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if e.fn == nil {
@@ -56,6 +66,5 @@ func (s *RealScheduler) After(d int64, fn func()) *Event {
 		e.fn = nil
 		f()
 	})
-	_ = timer
-	return e
+	return Timer{r: e}
 }

@@ -125,7 +125,8 @@ type SSD struct {
 	// from different host commands into one program op is what gives small
 	// buffered writes their sustained bandwidth.
 	flushPending []uint32
-	lingerEv     *sim.Event
+	lingerEv     sim.Timer
+	lingerFn     func() // cached forced-flush callback (no per-arm closure)
 
 	// Host command admission: at most InternalQD requests are in service;
 	// excess arrivals wait in FIFO order.
@@ -148,7 +149,7 @@ func New(sched sim.Scheduler, p Params) *SSD {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	return &SSD{
+	s := &SSD{
 		p:        p,
 		sched:    sched,
 		ftl:      newFTL(p),
@@ -159,6 +160,8 @@ func New(sched sim.Scheduler, p Params) *SSD {
 		lastRow:  newRowCache(p.Dies()),
 		bufPages: make(map[uint32]int),
 	}
+	s.lingerFn = func() { s.pumpFlush(true) }
+	return s
 }
 
 // Params returns the device parameters.
@@ -404,8 +407,8 @@ func (s *SSD) pumpFlush(force bool) {
 		s.flushPending = nil
 		return
 	}
-	if s.lingerEv == nil || s.lingerEv.Cancelled() {
-		s.lingerEv = s.sched.After(flushLinger, func() { s.pumpFlush(true) })
+	if s.lingerEv.Cancelled() {
+		s.lingerEv = s.sched.After(flushLinger, s.lingerFn)
 	}
 }
 

@@ -9,12 +9,20 @@ type Null struct {
 	sched    sim.Scheduler
 	capacity int64
 	delay    int64
+	// The delay is constant, so completions are FIFO: pending is a ring of
+	// in-flight requests and completeFn (cached once) pops the front — no
+	// per-request closure on the submit path.
+	pending    []*Request
+	head       int
+	completeFn func()
 }
 
 // NewNull returns a NULL device of the given capacity completing requests
 // after delay nanoseconds.
 func NewNull(sched sim.Scheduler, capacity, delay int64) *Null {
-	return &Null{sched: sched, capacity: capacity, delay: delay}
+	n := &Null{sched: sched, capacity: capacity, delay: delay}
+	n.completeFn = n.completeFront
+	return n
 }
 
 // Capacity implements Device.
@@ -28,8 +36,18 @@ func (n *Null) Submit(r *Request) {
 		r.Done(r)
 		return
 	}
-	n.sched.After(n.delay, func() {
-		r.CompleteTime = n.sched.Now()
-		r.Done(r)
-	})
+	n.pending = append(n.pending, r)
+	n.sched.After(n.delay, n.completeFn)
+}
+
+func (n *Null) completeFront() {
+	r := n.pending[n.head]
+	n.pending[n.head] = nil
+	n.head++
+	if n.head == len(n.pending) {
+		n.pending = n.pending[:0]
+		n.head = 0
+	}
+	r.CompleteTime = n.sched.Now()
+	r.Done(r)
 }

@@ -65,12 +65,15 @@ type Worker struct {
 
 	// OnDone, if set, observes every completion (harness time series).
 	OnDone func(io *nvme.IO, cpl nvme.Completion)
+
+	// submitFn is the cached trySubmit closure for rate-cap deferrals.
+	submitFn func()
 }
 
 // NewWorker builds a worker. Span must be a positive multiple of IOSize if
 // set; when zero the caller must call SetSpan before Start.
 func NewWorker(loop *sim.Loop, rng *sim.RNG, p Profile, tenant *nvme.Tenant, target Target) *Worker {
-	return &Worker{
+	w := &Worker{
 		loop:     loop,
 		rng:      rng,
 		p:        p,
@@ -80,6 +83,8 @@ func NewWorker(loop *sim.Loop, rng *sim.RNG, p Profile, tenant *nvme.Tenant, tar
 		WriteLat: stats.NewHistogram(),
 		Meter:    stats.NewMeter(loop.Now()),
 	}
+	w.submitFn = w.trySubmit
+	return w
 }
 
 // Tenant returns the worker's tenant identity.
@@ -124,8 +129,7 @@ func (w *Worker) trySubmit() {
 	}
 	if w.p.RateLimitBps > 0 && now < w.paceAt {
 		// Open-loop pacing: defer this submission slot.
-		at := w.paceAt
-		w.loop.At(at, func() { w.trySubmit() })
+		w.loop.At(w.paceAt, w.submitFn)
 		return
 	}
 	if w.p.RateLimitBps > 0 {
