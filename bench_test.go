@@ -22,6 +22,7 @@ import (
 	"gimbal/internal/core/ratectl"
 	"gimbal/internal/core/sched"
 	"gimbal/internal/fabric"
+	"gimbal/internal/fault"
 	"gimbal/internal/kvstore"
 	"gimbal/internal/nvme"
 	"gimbal/internal/sim"
@@ -301,10 +302,12 @@ func TestLoopSchedulingAllocFree(t *testing.T) {
 // TestSwitchSubmitAllocFree pins the per-IO zero-allocation contract of
 // the full Gimbal switch path on a NULL device: enqueue → DRR → vslot →
 // submit → complete. The IO itself is recycled by the caller here, as the
-// fabric layer's session does with its own request pool.
+// fabric layer's session does with its own request pool. The device sits
+// behind the fault-injection wrapper with no plan armed, so the contract
+// covers the deployment shape the facade and gimbald actually build.
 func TestSwitchSubmitAllocFree(t *testing.T) {
 	loop := sim.NewLoop()
-	dev := ssd.NewNull(loop, 8<<30, 100)
+	dev := fault.Wrap(loop, ssd.NewNull(loop, 8<<30, 100))
 	s := core.New(loop, dev, core.DefaultConfig())
 	tenant := nvme.NewTenant(0, "t0")
 	s.Register(tenant)

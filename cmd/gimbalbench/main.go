@@ -11,6 +11,12 @@
 // table reports, with a note summarizing the shape the paper observed.
 // EXPERIMENTS.md records the paper-vs-measured comparison.
 //
+// The chaos-* family (chaos-brownout, chaos-fabric, chaos-disconnect)
+// exercises the fault-injection subsystem instead of a paper figure: a
+// scripted SSD brownout, a lossy/delaying/duplicating fabric, and a tenant
+// disconnect, each reporting how the schemes degrade and recover. Chaos
+// runs are seed-deterministic like everything else.
+//
 // Experiments are independent simulations, so the sweep runs them on a
 // worker pool (-parallel, default GOMAXPROCS). Every experiment owns its
 // simulation loop, RNG seeds, and caches, so the output is byte-identical

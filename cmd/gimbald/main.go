@@ -14,6 +14,11 @@
 //	/debug/pprof/   the standard Go profiler
 //
 // Drive it with cmd/gimbalcli; `gimbalcli stats` renders /stats.
+//
+// A scripted SSD fault schedule can be armed at startup with -faults; see
+// loadFaultPlan for the JSON shape. -recovery (default on) enables the
+// Gimbal switch's fail-fast latch and graceful degradation so the target
+// survives the injected faults the way §3.7 describes.
 package main
 
 import (
@@ -29,7 +34,9 @@ import (
 	"syscall"
 	"time"
 
+	"gimbal/internal/core"
 	"gimbal/internal/fabric"
+	"gimbal/internal/fault"
 	"gimbal/internal/obs"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
@@ -45,6 +52,8 @@ func main() {
 		capacity = flag.Int64("capacity", 2<<30, "per-SSD usable bytes")
 		traceCap = flag.Int("trace", 8192, "per-IO trace ring capacity (0 disables tracing)")
 		drain    = flag.Duration("drain", 3*time.Second, "graceful shutdown drain timeout")
+		faults   = flag.String("faults", "", "JSON fault plan armed at startup (SSD faults only)")
+		recovery = flag.Bool("recovery", true, "enable fail-fast + graceful degradation on the gimbal scheme")
 	)
 	flag.Parse()
 
@@ -67,15 +76,41 @@ func main() {
 	rs := sim.NewRealScheduler()
 	rng := sim.NewRNG(uint64(os.Getpid()))
 	var devs []ssd.Device
+	var ssdModels []*ssd.SSD
+	var wraps []*fault.Device
 	for i := 0; i < *ssds; i++ {
 		p := ssd.DCT983()
 		p.UsableBytes = *capacity
 		d := ssd.New(rs, p)
 		log.Printf("preconditioning ssd %d (%s, %s)...", i, p.Name, condition)
 		d.Precondition(condition, rng.Fork())
-		devs = append(devs, d)
+		w := fault.Wrap(rs, d)
+		devs = append(devs, w)
+		ssdModels = append(ssdModels, d)
+		wraps = append(wraps, w)
 	}
 	target := fabric.NewTarget(rs, devs, fabric.DefaultTargetConfig(sch))
+	if *recovery && sch == fabric.SchemeGimbal {
+		for i := 0; i < *ssds; i++ {
+			if g := target.Pipeline(i).Gimbal; g != nil {
+				g.EnableRecovery(core.DefaultRecoveryConfig())
+			}
+		}
+	}
+	if *faults != "" {
+		plan, err := loadFaultPlan(*faults)
+		if err != nil {
+			log.Fatalf("fault plan: %v", err)
+		}
+		eng := fault.NewEngine(rs, wraps)
+		eng.Stall = func(ssdIdx, die int, dur int64) error {
+			return ssdModels[ssdIdx].InjectDieStall(die, dur)
+		}
+		if err := eng.Arm(plan); err != nil {
+			log.Fatalf("fault plan: %v", err)
+		}
+		log.Printf("armed %d fault events from %s", eng.Armed, *faults)
+	}
 
 	// Telemetry: registry gathered under the scheduler lock, plus the
 	// per-IO lifecycle trace ring.
@@ -145,6 +180,79 @@ func main() {
 		log.Printf("traced %d IOs (last %d retained)", ring.Total(), ring.Len())
 	}
 	log.Println("shutdown complete")
+}
+
+// loadFaultPlan parses a JSON fault schedule:
+//
+//	{"events": [
+//	  {"kind": "ssd-brownout",      "at": "10s", "dur": "30s", "ssd": 0, "factor": 8},
+//	  {"kind": "ssd-latency-spike", "at": "1m",  "dur": "10s", "ssd": 1, "extra": "2ms"},
+//	  {"kind": "ssd-die-stall",     "at": "2m",  "dur": "5s",  "ssd": 0, "die": 3},
+//	  {"kind": "ssd-fail",          "at": "3m",  "dur": "20s", "ssd": 2}
+//	]}
+//
+// Times are relative to process start. Fabric fault kinds are rejected:
+// live sessions appear dynamically with TCP connections, so they cannot be
+// addressed by index from a startup file. Use the simulation API
+// (gimbal.FaultPlan) or gimbalbench's chaos experiments for those.
+func loadFaultPlan(path string) (*fault.Plan, error) {
+	var doc struct {
+		Seed   uint64 `json:"seed"`
+		Events []struct {
+			Kind   string  `json:"kind"`
+			At     string  `json:"at"`
+			Dur    string  `json:"dur"`
+			SSD    int     `json:"ssd"`
+			Die    int     `json:"die"`
+			Factor float64 `json:"factor"`
+			Extra  string  `json:"extra"`
+			Prob   float64 `json:"prob"`
+		} `json:"events"`
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, err
+	}
+	kinds := map[string]fault.Kind{
+		"ssd-latency-spike": fault.SSDLatencySpike,
+		"ssd-brownout":      fault.SSDBrownout,
+		"ssd-die-stall":     fault.SSDDieStall,
+		"ssd-fail":          fault.SSDFail,
+	}
+	dur := func(s string) (int64, error) {
+		if s == "" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(s)
+		return int64(d), err
+	}
+	plan := &fault.Plan{Seed: doc.Seed}
+	for i, ev := range doc.Events {
+		k, ok := kinds[ev.Kind]
+		if !ok {
+			return nil, fmt.Errorf("event %d: unsupported kind %q (SSD faults only)", i, ev.Kind)
+		}
+		at, err := dur(ev.At)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: at: %v", i, err)
+		}
+		window, err := dur(ev.Dur)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: dur: %v", i, err)
+		}
+		extra, err := dur(ev.Extra)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: extra: %v", i, err)
+		}
+		plan.Events = append(plan.Events, fault.Event{
+			Kind: k, At: at, Dur: window, SSD: ev.SSD, Die: ev.Die,
+			Factor: ev.Factor, Extra: extra, Prob: ev.Prob,
+		})
+	}
+	return plan, nil
 }
 
 func byteSize(n int64) string {

@@ -37,11 +37,14 @@ func main() {
 	standalone := map[string]float64{}
 	for _, c := range classes {
 		s := gimbal.NewSim(1)
-		jbof, err := s.NewJBOF(gimbal.JBOFConfig{Scheme: gimbal.SchemeVanilla, Condition: gimbal.Fragmented})
+		jbof, err := s.NewJBOF(gimbal.WithScheme(gimbal.SchemeVanilla), gimbal.WithCondition(gimbal.Fragmented))
 		if err != nil {
 			panic(err)
 		}
-		st := jbof.StartWorkload(0, c.w)
+		st, err := jbof.StartWorkload(0, gimbal.WithWorkload(c.w))
+		if err != nil {
+			panic(err)
+		}
 		s.Run(500 * time.Millisecond)
 		st.ResetStats()
 		s.Run(1 * time.Second)
@@ -52,14 +55,18 @@ func main() {
 	for _, scheme := range []gimbal.Scheme{gimbal.SchemeReflex, gimbal.SchemeFlashFQ,
 		gimbal.SchemeParda, gimbal.SchemeGimbal} {
 		s := gimbal.NewSim(1)
-		jbof, err := s.NewJBOF(gimbal.JBOFConfig{Scheme: scheme, Condition: gimbal.Fragmented})
+		jbof, err := s.NewJBOF(gimbal.WithScheme(scheme), gimbal.WithCondition(gimbal.Fragmented))
 		if err != nil {
 			panic(err)
 		}
 		streams := map[string][]*gimbal.Stream{}
 		for _, c := range classes {
 			for i := 0; i < c.n; i++ {
-				streams[c.name] = append(streams[c.name], jbof.StartWorkload(0, c.w))
+				st, err := jbof.StartWorkload(0, gimbal.WithWorkload(c.w))
+				if err != nil {
+					panic(err)
+				}
+				streams[c.name] = append(streams[c.name], st)
 			}
 		}
 		s.Run(1 * time.Second)

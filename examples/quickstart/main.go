@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,21 +22,27 @@ import (
 func main() {
 	for _, scheme := range []gimbal.Scheme{gimbal.SchemeVanilla, gimbal.SchemeGimbal} {
 		s := gimbal.NewSim(42)
-		jbof, err := s.NewJBOF(gimbal.JBOFConfig{
-			Scheme:    scheme,
-			SSDs:      1,
-			Condition: gimbal.Clean,
-		})
+		jbof, err := s.NewJBOF(
+			gimbal.WithScheme(scheme),
+			gimbal.WithSSDs(1),
+			gimbal.WithCondition(gimbal.Clean),
+		)
 		if err != nil {
 			panic(err)
 		}
 
-		victim := jbof.StartWorkload(0, gimbal.Workload{
-			Name: "victim", Read: 1, IOSize: 4096, QueueDepth: 32,
-		})
-		bully := jbof.StartWorkload(0, gimbal.Workload{
-			Name: "bully", Read: 1, IOSize: 128 << 10, QueueDepth: 32,
-		})
+		victim, err := jbof.StartWorkload(0,
+			gimbal.WithWorkloadName("victim"), gimbal.WithReadFraction(1),
+			gimbal.WithIOSize(4096), gimbal.WithQueueDepth(32))
+		if err != nil {
+			panic(err)
+		}
+		bully, err := jbof.StartWorkload(0,
+			gimbal.WithWorkloadName("bully"), gimbal.WithReadFraction(1),
+			gimbal.WithIOSize(128<<10), gimbal.WithQueueDepth(32))
+		if err != nil {
+			panic(err)
+		}
 
 		s.Run(1 * time.Second) // warmup
 		victim.ResetStats()
@@ -48,10 +55,12 @@ func main() {
 			victim.ReadLatency().Avg.Round(time.Microsecond),
 			victim.ReadLatency().P999.Round(time.Microsecond))
 		fmt.Printf("bully (128KB read QD32): %6.0f MB/s\n", bully.BandwidthMBps())
-		if v, ok := jbof.View(0); ok {
+		if v, err := jbof.View(0); err == nil {
 			fmt.Printf("virtual view: target rate %.0f MB/s, write cost %.1f, "+
 				"victim credit headroom %d\n",
 				v.TargetRateMBps, v.WriteCost, victim.CreditHeadroom())
+		} else if !errors.Is(err, gimbal.ErrNoView) {
+			panic(err)
 		}
 		fmt.Println()
 	}

@@ -3,32 +3,77 @@
 // SmartNIC JBOFs" (SIGCOMM 2021).
 //
 // The package wraps the internal building blocks — the discrete-event SSD
-// model, the NVMe-oF fabric, the Gimbal storage switch and the baseline
-// schedulers — behind a small facade:
+// model, the NVMe-oF fabric, the Gimbal storage switch, the baseline
+// schedulers, and the fault-injection engine — behind a small facade
+// configured with functional options:
 //
 //	s := gimbal.NewSim(42)
-//	jbof, _ := s.NewJBOF(gimbal.JBOFConfig{
-//		Scheme: gimbal.SchemeGimbal, SSDs: 1, Condition: gimbal.Fragmented,
-//	})
-//	reader := jbof.StartWorkload(0, gimbal.Workload{Read: 1, IOSize: 4096, QueueDepth: 32})
-//	writer := jbof.StartWorkload(0, gimbal.Workload{Read: 0, IOSize: 4096, QueueDepth: 32})
+//	jbof, _ := s.NewJBOF(
+//		gimbal.WithScheme(gimbal.SchemeGimbal),
+//		gimbal.WithCondition(gimbal.Fragmented),
+//	)
+//	reader, _ := jbof.StartWorkload(0, gimbal.WithReadFraction(1),
+//		gimbal.WithIOSize(4096), gimbal.WithQueueDepth(32))
+//	writer, _ := jbof.StartWorkload(0, gimbal.WithReadFraction(0),
+//		gimbal.WithIOSize(4096), gimbal.WithQueueDepth(32))
 //	s.Run(2 * time.Second) // two seconds of simulated time
 //	fmt.Println(reader.BandwidthMBps(), writer.BandwidthMBps())
 //
-// Experiments reproducing the paper's figures live in cmd/gimbalbench; the
-// live TCP target and initiator are cmd/gimbald and cmd/gimbalcli; runnable
-// examples are under examples/.
+// Faults are scripted, seed-deterministic schedules injected into a
+// running JBOF:
+//
+//	jbof.InjectFaults(gimbal.FaultPlan{Seed: 7, Events: []gimbal.FaultEvent{
+//		{Kind: gimbal.SSDBrownout, At: time.Second, Duration: time.Second,
+//			SSD: 0, Factor: 8},
+//	}})
+//
+// The configuration structs (JBOFConfig, Workload) remain available as
+// escape hatches via WithJBOFConfig and WithWorkload. Failures surface as
+// typed sentinel errors (ErrBadSSDIndex, ErrTimeout, ...) that work with
+// errors.Is.
+//
+// Experiments reproducing the paper's figures — including the chaos
+// family — live in cmd/gimbalbench; the live TCP target and initiator are
+// cmd/gimbald and cmd/gimbalcli; runnable examples are under examples/.
 package gimbal
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"gimbal/internal/core"
 	"gimbal/internal/fabric"
+	"gimbal/internal/fault"
 	"gimbal/internal/nvme"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
 	"gimbal/internal/workload"
+)
+
+// Sentinel errors. All errors returned by the facade wrap one of these, so
+// callers dispatch with errors.Is.
+var (
+	// ErrUnknownScheme reports a scheme name outside the evaluation set.
+	ErrUnknownScheme = errors.New("gimbal: unknown scheme")
+	// ErrUnknownCondition reports an unrecognized pre-conditioning state.
+	ErrUnknownCondition = errors.New("gimbal: unknown condition")
+	// ErrBadSSDIndex reports an SSD index outside the JBOF.
+	ErrBadSSDIndex = errors.New("gimbal: ssd index out of range")
+	// ErrNoView reports that the scheme exposes no per-SSD virtual view
+	// (only the Gimbal switch computes one, §3.7).
+	ErrNoView = errors.New("gimbal: scheme exposes no virtual view")
+	// ErrBadFaultPlan reports a fault plan that references SSDs, dies, or
+	// streams the JBOF does not have, or carries nonsense parameters.
+	ErrBadFaultPlan = errors.New("gimbal: invalid fault plan")
+	// ErrDeviceFailed reports a stream that gave up because the target
+	// rejected its IOs against a failed device.
+	ErrDeviceFailed = errors.New("gimbal: device failed")
+	// ErrTimeout reports a stream that gave up after exhausting its retry
+	// budget on IO deadlines.
+	ErrTimeout = errors.New("gimbal: io deadline exceeded")
+	// ErrAborted reports a stream whose session was torn down under it.
+	ErrAborted = errors.New("gimbal: io aborted")
 )
 
 // Scheme names a multi-tenancy mechanism.
@@ -62,22 +107,32 @@ func (c Condition) internal() (ssd.Condition, error) {
 	case Fragmented:
 		return ssd.Fragmented, nil
 	}
-	return 0, fmt.Errorf("gimbal: unknown condition %q", c)
+	return 0, fmt.Errorf("%w: %q", ErrUnknownCondition, string(c))
 }
 
 // Sim is a deterministic simulation universe with a virtual clock.
 type Sim struct {
 	loop *sim.Loop
 	rng  *sim.RNG
+	seed uint64
 }
+
+// SimOption customizes a Sim. The current release defines no options; the
+// parameter exists so future knobs (e.g. a real-time clock) do not change
+// the signature.
+type SimOption func(*Sim)
 
 // NewSim creates a simulation; runs with the same seed and the same calls
 // produce identical results.
-func NewSim(seed uint64) *Sim {
+func NewSim(seed uint64, opts ...SimOption) *Sim {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Sim{loop: sim.NewLoop(), rng: sim.NewRNG(seed)}
+	s := &Sim{loop: sim.NewLoop(), rng: sim.NewRNG(seed), seed: seed}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Run advances the simulation by d of virtual time.
@@ -86,7 +141,8 @@ func (s *Sim) Run(d time.Duration) { s.loop.RunFor(int64(d)) }
 // Now returns the current virtual time since the simulation epoch.
 func (s *Sim) Now() time.Duration { return time.Duration(s.loop.Now()) }
 
-// JBOFConfig describes one storage node.
+// JBOFConfig describes one storage node. It is the escape-hatch form of
+// the JBOFOption set; pass it via WithJBOFConfig.
 type JBOFConfig struct {
 	Scheme    Scheme    // default SchemeGimbal
 	SSDs      int       // default 1
@@ -98,16 +154,49 @@ type JBOFConfig struct {
 	P3600 bool
 }
 
-// JBOF is a SmartNIC storage node: SSDs behind per-SSD scheduler pipelines.
+// JBOFOption customizes a JBOF under construction.
+type JBOFOption func(*JBOFConfig)
+
+// WithScheme selects the multi-tenancy scheme (default SchemeGimbal).
+func WithScheme(sc Scheme) JBOFOption { return func(c *JBOFConfig) { c.Scheme = sc } }
+
+// WithSSDs sets the number of SSDs (default 1).
+func WithSSDs(n int) JBOFOption { return func(c *JBOFConfig) { c.SSDs = n } }
+
+// WithCondition sets the pre-conditioning state (default Fresh).
+func WithCondition(cond Condition) JBOFOption { return func(c *JBOFConfig) { c.Condition = cond } }
+
+// WithCapacity sets the usable bytes per SSD.
+func WithCapacity(bytes int64) JBOFOption { return func(c *JBOFConfig) { c.CapacityBytes = bytes } }
+
+// WithP3600 selects the Intel P3600-like device model (§5.8).
+func WithP3600() JBOFOption { return func(c *JBOFConfig) { c.P3600 = true } }
+
+// WithJBOFConfig replaces the whole configuration — the struct escape
+// hatch. Options after it still apply on top.
+func WithJBOFConfig(cfg JBOFConfig) JBOFOption { return func(c *JBOFConfig) { *c = cfg } }
+
+// JBOF is a SmartNIC storage node: SSDs behind per-SSD scheduler pipelines,
+// each device wrapped in a fault-injection layer (inert — a single branch —
+// until a plan is armed).
 type JBOF struct {
-	sim     *Sim
-	target  *fabric.Target
-	devices []*ssd.SSD
-	nextID  int
+	sim      *Sim
+	target   *fabric.Target
+	scheme   fabric.Scheme
+	devices  []*ssd.SSD
+	wraps    []*fault.Device
+	engine   *fault.Engine
+	streams  []*Stream
+	planSeed uint64
+	nextID   int
 }
 
 // NewJBOF builds and pre-conditions a storage node.
-func (s *Sim) NewJBOF(cfg JBOFConfig) (*JBOF, error) {
+func (s *Sim) NewJBOF(opts ...JBOFOption) (*JBOF, error) {
+	var cfg JBOFConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.SSDs <= 0 {
 		cfg.SSDs = 1
 	}
@@ -116,7 +205,7 @@ func (s *Sim) NewJBOF(cfg JBOFConfig) (*JBOF, error) {
 	}
 	scheme, err := fabric.ParseScheme(string(cfg.Scheme))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, string(cfg.Scheme))
 	}
 	cond, err := cfg.Condition.internal()
 	if err != nil {
@@ -129,23 +218,42 @@ func (s *Sim) NewJBOF(cfg JBOFConfig) (*JBOF, error) {
 	if cfg.CapacityBytes > 0 {
 		params.UsableBytes = cfg.CapacityBytes
 	}
-	j := &JBOF{sim: s}
+	j := &JBOF{sim: s, scheme: scheme}
 	var devs []ssd.Device
 	for i := 0; i < cfg.SSDs; i++ {
 		d := ssd.New(s.loop, params)
 		d.Precondition(cond, s.rng.Fork())
-		devs = append(devs, d)
+		w := fault.Wrap(s.loop, d)
+		devs = append(devs, w)
 		j.devices = append(j.devices, d)
+		j.wraps = append(j.wraps, w)
 	}
 	j.target = fabric.NewTarget(s.loop, devs, fabric.DefaultTargetConfig(scheme))
+	j.engine = fault.NewEngine(s.loop, j.wraps)
+	j.engine.Stall = func(ssdIdx, die int, dur int64) error {
+		return j.devices[ssdIdx].InjectDieStall(die, dur)
+	}
+	j.engine.Fabric = j.applyFabricFault
 	return j, nil
 }
 
 // SSDCount returns the number of SSDs.
 func (j *JBOF) SSDCount() int { return len(j.devices) }
 
+func (j *JBOF) checkSSD(ssdIdx int) error {
+	if ssdIdx < 0 || ssdIdx >= len(j.devices) {
+		return fmt.Errorf("%w: %d of %d", ErrBadSSDIndex, ssdIdx, len(j.devices))
+	}
+	return nil
+}
+
 // Capacity returns the usable bytes of one SSD.
-func (j *JBOF) Capacity(ssdIdx int) int64 { return j.devices[ssdIdx].Capacity() }
+func (j *JBOF) Capacity(ssdIdx int) (int64, error) {
+	if err := j.checkSSD(ssdIdx); err != nil {
+		return 0, err
+	}
+	return j.devices[ssdIdx].Capacity(), nil
+}
 
 // Priority mirrors the NVMe-oF request priority tag (§3.5).
 type Priority int
@@ -157,16 +265,150 @@ const (
 	Low    Priority = 2
 )
 
-// Workload is an fio-style stream description.
+// Workload is an fio-style stream description. It is the escape-hatch form
+// of the WorkloadOption set; pass it via WithWorkload.
 type Workload struct {
 	Name       string
 	Read       float64 // fraction of reads: 1 read-only, 0 write-only
-	IOSize     int     // bytes, 4KB multiple
-	QueueDepth int
+	IOSize     int     // bytes, 4KB multiple; default 4096
+	QueueDepth int     // default 1
 	Sequential bool
 	// RateLimitMBps caps the stream (0 = unlimited).
 	RateLimitMBps float64
 	Priority      Priority
+	// MaxConsecutiveErrs makes the stream give up — Done() true, Err()
+	// non-nil — after that many back-to-back failed IOs. 0 uses the facade
+	// default (64); negative means never give up.
+	MaxConsecutiveErrs int
+}
+
+// RetryPolicy is the initiator-side recovery policy of a stream's session:
+// per-IO deadlines with bounded, idempotent reissue under capped
+// exponential backoff.
+type RetryPolicy struct {
+	Timeout    time.Duration // per-attempt deadline; 0 disables deadlines
+	MaxRetries int           // reissues after the first attempt
+	Backoff    time.Duration // delay before the first reissue, doubling after
+	BackoffCap time.Duration // ceiling for the doubled backoff
+}
+
+// DefaultRetryPolicy mirrors the fabric's default initiator policy.
+func DefaultRetryPolicy() RetryPolicy {
+	p := fabric.DefaultRetryPolicy()
+	return RetryPolicy{
+		Timeout:    time.Duration(p.Timeout),
+		MaxRetries: p.MaxRetries,
+		Backoff:    time.Duration(p.Backoff),
+		BackoffCap: time.Duration(p.BackoffCap),
+	}
+}
+
+func (p RetryPolicy) internal() fabric.RetryPolicy {
+	return fabric.RetryPolicy{
+		Timeout:    int64(p.Timeout),
+		MaxRetries: p.MaxRetries,
+		Backoff:    int64(p.Backoff),
+		BackoffCap: int64(p.BackoffCap),
+	}
+}
+
+type workloadConfig struct {
+	w     Workload
+	retry *fabric.RetryPolicy
+}
+
+// WorkloadOption customizes one stream.
+type WorkloadOption func(*workloadConfig)
+
+// WithWorkload replaces the whole description — the struct escape hatch.
+// Options after it still apply on top.
+func WithWorkload(w Workload) WorkloadOption { return func(c *workloadConfig) { c.w = w } }
+
+// WithWorkloadName labels the stream's tenant.
+func WithWorkloadName(name string) WorkloadOption { return func(c *workloadConfig) { c.w.Name = name } }
+
+// WithReadFraction sets the read share: 1 read-only, 0 write-only.
+func WithReadFraction(r float64) WorkloadOption { return func(c *workloadConfig) { c.w.Read = r } }
+
+// WithIOSize sets the IO size in bytes (4KB multiple, default 4096).
+func WithIOSize(bytes int) WorkloadOption { return func(c *workloadConfig) { c.w.IOSize = bytes } }
+
+// WithQueueDepth sets the stream's outstanding-IO bound (default 1).
+func WithQueueDepth(qd int) WorkloadOption { return func(c *workloadConfig) { c.w.QueueDepth = qd } }
+
+// WithSequential makes the stream sequential instead of random.
+func WithSequential() WorkloadOption { return func(c *workloadConfig) { c.w.Sequential = true } }
+
+// WithRateLimitMBps caps the stream's submission rate.
+func WithRateLimitMBps(mbps float64) WorkloadOption {
+	return func(c *workloadConfig) { c.w.RateLimitMBps = mbps }
+}
+
+// WithPriority sets the NVMe-oF priority tag (§3.5).
+func WithPriority(p Priority) WorkloadOption { return func(c *workloadConfig) { c.w.Priority = p } }
+
+// WithMaxConsecutiveErrs overrides when the stream gives up (see
+// Workload.MaxConsecutiveErrs).
+func WithMaxConsecutiveErrs(n int) WorkloadOption {
+	return func(c *workloadConfig) { c.w.MaxConsecutiveErrs = n }
+}
+
+// WithRetry arms the stream's session with an initiator-side recovery
+// policy: deadlines, bounded idempotent reissue, capped backoff.
+func WithRetry(p RetryPolicy) WorkloadOption {
+	return func(c *workloadConfig) { rp := p.internal(); c.retry = &rp }
+}
+
+// StartWorkload attaches a new tenant running the described stream against
+// one SSD. The stream runs until Stop (or for 10 simulated hours). The
+// stream's index in StartWorkload order is its address for fabric fault
+// events (FaultEvent.Stream).
+func (j *JBOF) StartWorkload(ssdIdx int, opts ...WorkloadOption) (*Stream, error) {
+	if err := j.checkSSD(ssdIdx); err != nil {
+		return nil, err
+	}
+	var c workloadConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	w := c.w
+	if w.IOSize == 0 {
+		w.IOSize = 4096
+	}
+	if w.QueueDepth == 0 {
+		w.QueueDepth = 1
+	}
+	if w.MaxConsecutiveErrs == 0 {
+		w.MaxConsecutiveErrs = 64
+	} else if w.MaxConsecutiveErrs < 0 {
+		w.MaxConsecutiveErrs = 0
+	}
+	j.nextID++
+	name := w.Name
+	if name == "" {
+		name = fmt.Sprintf("tenant-%d", j.nextID)
+	}
+	tenant := nvme.NewTenant(j.nextID, name)
+	sess := j.target.Connect(tenant, ssdIdx)
+	if c.retry != nil {
+		sess.SetRetryPolicy(*c.retry)
+	}
+	prof := workload.Profile{
+		Name:               name,
+		ReadRatio:          w.Read,
+		IOSize:             w.IOSize,
+		QD:                 w.QueueDepth,
+		Seq:                w.Sequential,
+		Priority:           nvme.Priority(w.Priority),
+		RateLimitBps:       int64(w.RateLimitMBps * 1e6),
+		Span:               j.devices[ssdIdx].Capacity(),
+		MaxConsecutiveErrs: w.MaxConsecutiveErrs,
+	}
+	wk := workload.NewWorker(j.sim.loop, j.sim.rng.Fork(), prof, tenant, sess)
+	wk.Start(j.sim.loop.Now() + 10*3600*sim.Second)
+	st := &Stream{sim: j.sim, worker: wk, sess: sess}
+	j.streams = append(j.streams, st)
+	return st, nil
 }
 
 // Stream is a running workload with live metrics.
@@ -176,45 +418,41 @@ type Stream struct {
 	sess   *fabric.Session
 }
 
-// StartWorkload attaches a new tenant running w against one SSD. The
-// stream runs until Stop (or for 10 simulated hours).
-func (j *JBOF) StartWorkload(ssdIdx int, w Workload) *Stream {
-	if w.IOSize == 0 {
-		w.IOSize = 4096
-	}
-	if w.QueueDepth == 0 {
-		w.QueueDepth = 1
-	}
-	j.nextID++
-	name := w.Name
-	if name == "" {
-		name = fmt.Sprintf("tenant-%d", j.nextID)
-	}
-	tenant := nvme.NewTenant(j.nextID, name)
-	sess := j.target.Connect(tenant, ssdIdx)
-	prof := workload.Profile{
-		Name:         name,
-		ReadRatio:    w.Read,
-		IOSize:       w.IOSize,
-		QD:           w.QueueDepth,
-		Seq:          w.Sequential,
-		Priority:     nvme.Priority(w.Priority),
-		RateLimitBps: int64(w.RateLimitMBps * 1e6),
-		Span:         j.devices[ssdIdx].Capacity(),
-	}
-	wk := workload.NewWorker(j.sim.loop, j.sim.rng.Fork(), prof, tenant, sess)
-	wk.Start(j.sim.loop.Now() + 10*3600*sim.Second)
-	return &Stream{sim: j.sim, worker: wk, sess: sess}
-}
-
 // Stop ends the stream's submissions.
 func (s *Stream) Stop() { s.worker.Stop() }
+
+// Done reports whether the stream has stopped submitting — because Stop
+// was called, its horizon passed, or it gave up on a persistent failure
+// (in which case Err explains why).
+func (s *Stream) Done() bool { return s.worker.Stopped() }
+
+// Err returns nil while the stream is healthy, and the typed failure —
+// ErrTimeout, ErrDeviceFailed, ErrAborted — once the stream has given up
+// after Workload.MaxConsecutiveErrs back-to-back errors.
+func (s *Stream) Err() error {
+	st, failed := s.worker.Failed()
+	if !failed {
+		return nil
+	}
+	switch st {
+	case nvme.StatusTimeout:
+		return ErrTimeout
+	case nvme.StatusDeviceFailed:
+		return ErrDeviceFailed
+	case nvme.StatusAborted:
+		return ErrAborted
+	}
+	return fmt.Errorf("gimbal: stream failed with NVMe status %#04x", uint16(st))
+}
 
 // ResetStats restarts measurement (typically after a warmup period).
 func (s *Stream) ResetStats() { s.worker.ResetStats() }
 
-// BandwidthMBps returns the measured bandwidth since the last reset.
+// BandwidthMBps returns the measured goodput since the last reset.
 func (s *Stream) BandwidthMBps() float64 { return s.worker.BandwidthMBps() }
+
+// Retries returns how many reissues the stream's session performed.
+func (s *Stream) Retries() int64 { return s.sess.Retries }
 
 // Latency summarizes the stream's end-to-end latency since the last reset.
 type Latency struct {
@@ -254,14 +492,21 @@ type View struct {
 	WriteCost          float64
 	ReadShareMBps      float64
 	WriteShareMBps     float64
+	// Degraded reports the switch clamped tenant credits because the
+	// device is browning out; Failed reports the fail-fast latch is set.
+	Degraded bool
+	Failed   bool
 }
 
-// View returns the SSD's virtual view; ok is false unless the JBOF runs
-// the Gimbal scheme.
-func (j *JBOF) View(ssdIdx int) (View, bool) {
+// View returns the SSD's virtual view. The error is ErrNoView unless the
+// JBOF runs the Gimbal scheme, ErrBadSSDIndex for an index outside it.
+func (j *JBOF) View(ssdIdx int) (View, error) {
+	if err := j.checkSSD(ssdIdx); err != nil {
+		return View{}, err
+	}
 	g := j.target.Pipeline(ssdIdx).Gimbal
 	if g == nil {
-		return View{}, false
+		return View{}, ErrNoView
 	}
 	v := g.View()
 	return View{
@@ -270,7 +515,9 @@ func (j *JBOF) View(ssdIdx int) (View, bool) {
 		WriteCost:          v.WriteCost,
 		ReadShareMBps:      v.ReadShareBps / 1e6,
 		WriteShareMBps:     v.WriteShareBps / 1e6,
-	}, true
+		Degraded:           v.Degraded,
+		Failed:             v.Failed,
+	}, nil
 }
 
 // DeviceStats reports SSD-internal counters (write amplification, GC).
@@ -281,8 +528,172 @@ type DeviceStats struct {
 	Erases                uint64
 }
 
+// FaultKind identifies one fault type in a FaultPlan.
+type FaultKind int
+
+// Fault kinds. SSD faults address a device by index; fabric faults address
+// a stream by its StartWorkload order.
+const (
+	// SSDLatencySpike adds Extra to every IO's service time for the window.
+	SSDLatencySpike FaultKind = iota
+	// SSDBrownout multiplies every IO's service time by Factor for the
+	// window (the device still works, slowly).
+	SSDBrownout
+	// SSDDieStall blocks one flash die for the window.
+	SSDDieStall
+	// SSDFail makes the device fail every IO with a media error for the
+	// window (Duration 0 = forever).
+	SSDFail
+	// FabricDrop drops each frame with probability Prob for the window.
+	FabricDrop
+	// FabricDuplicate duplicates each command frame with probability Prob.
+	FabricDuplicate
+	// FabricDelay adds Extra (± jittered by Jitter) to each frame;
+	// reordering emerges from jittered delays.
+	FabricDelay
+	// FabricDisconnect tears the stream's session down at At, permanently.
+	FabricDisconnect
+)
+
+func (k FaultKind) internal() (fault.Kind, error) {
+	switch k {
+	case SSDLatencySpike:
+		return fault.SSDLatencySpike, nil
+	case SSDBrownout:
+		return fault.SSDBrownout, nil
+	case SSDDieStall:
+		return fault.SSDDieStall, nil
+	case SSDFail:
+		return fault.SSDFail, nil
+	case FabricDrop:
+		return fault.FabricDrop, nil
+	case FabricDuplicate:
+		return fault.FabricDuplicate, nil
+	case FabricDelay:
+		return fault.FabricDelay, nil
+	case FabricDisconnect:
+		return fault.FabricDisconnect, nil
+	}
+	return 0, fmt.Errorf("%w: unknown fault kind %d", ErrBadFaultPlan, int(k))
+}
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	Kind FaultKind
+	// At is when the fault engages, measured from the simulation epoch.
+	At time.Duration
+	// Duration is the fault window; after it the fault reverts. Zero means
+	// permanent for SSDFail and is invalid for other windowed kinds.
+	Duration time.Duration
+
+	SSD    int // target device (SSD kinds)
+	Die    int // target die (SSDDieStall)
+	Stream int // target stream in StartWorkload order (fabric kinds)
+
+	Factor float64       // service-time multiplier (SSDBrownout; ≥ 1)
+	Extra  time.Duration // added latency (SSDLatencySpike, FabricDelay)
+	Jitter time.Duration // delay jitter bound (FabricDelay)
+	Prob   float64       // per-frame probability (FabricDrop, FabricDuplicate)
+}
+
+// FaultPlan is a scripted, seed-deterministic fault schedule. The Seed
+// feeds the per-stream RNGs deciding probabilistic frame faults, so a
+// chaos run replays exactly.
+type FaultPlan struct {
+	Seed   uint64
+	Events []FaultEvent
+}
+
+// InjectFaults validates and arms a fault plan against the running JBOF.
+// Streams referenced by fabric events must already have been started. On
+// the Gimbal scheme this also arms the target-side recovery machinery
+// (fail-fast latch and graceful degradation, with its defaults) so the
+// switch reacts to the injected faults the way §3.7 describes. Returns an
+// error wrapping ErrBadFaultPlan if the plan references devices, dies, or
+// streams the JBOF does not have.
+func (j *JBOF) InjectFaults(p FaultPlan) error {
+	ip := &fault.Plan{Seed: p.Seed}
+	for _, ev := range p.Events {
+		k, err := ev.Kind.internal()
+		if err != nil {
+			return err
+		}
+		ip.Events = append(ip.Events, fault.Event{
+			Kind:    k,
+			At:      int64(ev.At),
+			Dur:     int64(ev.Duration),
+			SSD:     ev.SSD,
+			Die:     ev.Die,
+			Session: ev.Stream,
+			Factor:  ev.Factor,
+			Extra:   int64(ev.Extra),
+			Extra2:  int64(ev.Jitter),
+			Prob:    ev.Prob,
+		})
+	}
+	if err := ip.Validate(len(j.devices), len(j.streams)); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFaultPlan, err)
+	}
+	if j.scheme == fabric.SchemeGimbal {
+		for i := range j.devices {
+			if g := j.target.Pipeline(i).Gimbal; g != nil {
+				g.EnableRecovery(core.DefaultRecoveryConfig())
+			}
+		}
+	}
+	j.planSeed = p.Seed
+	if err := j.engine.Arm(ip); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFaultPlan, err)
+	}
+	return nil
+}
+
+// applyFabricFault routes one armed fabric event to its stream's session.
+// LinkFaults state is created lazily with a seed derived from the plan
+// seed and the stream index, so the fault stream is deterministic
+// regardless of event order.
+func (j *JBOF) applyFabricFault(ev fault.Event, active bool) {
+	sess := j.streams[ev.Session].sess
+	if ev.Kind == fault.FabricDisconnect {
+		if active {
+			sess.Disconnect()
+		}
+		return
+	}
+	lf := sess.LinkFaults()
+	if lf == nil {
+		lf = fault.NewLinkFaults(j.planSeed ^ (uint64(ev.Session)+1)*0x9e3779b97f4a7c15)
+		sess.ArmLinkFaults(lf)
+	}
+	switch ev.Kind {
+	case fault.FabricDrop:
+		if active {
+			lf.SetDrop(ev.Prob)
+		} else {
+			lf.SetDrop(0)
+		}
+	case fault.FabricDuplicate:
+		if active {
+			lf.SetDuplicate(ev.Prob)
+		} else {
+			lf.SetDuplicate(0)
+		}
+	case fault.FabricDelay:
+		if active {
+			lf.SetDelay(ev.Extra)
+			lf.SetJitter(ev.Extra2)
+		} else {
+			lf.SetDelay(0)
+			lf.SetJitter(0)
+		}
+	}
+}
+
 // DeviceStats returns internal counters for one SSD.
-func (j *JBOF) DeviceStats(ssdIdx int) DeviceStats {
+func (j *JBOF) DeviceStats(ssdIdx int) (DeviceStats, error) {
+	if err := j.checkSSD(ssdIdx); err != nil {
+		return DeviceStats{}, err
+	}
 	st := j.devices[ssdIdx].Stats()
 	return DeviceStats{
 		ReadBytes:          st.ReadBytes,
@@ -290,5 +701,5 @@ func (j *JBOF) DeviceStats(ssdIdx int) DeviceStats {
 		WriteAmplification: st.WriteAmp,
 		GCMovedPages:       st.GCMovedPages,
 		Erases:             st.Erases,
-	}
+	}, nil
 }

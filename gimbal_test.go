@@ -1,24 +1,34 @@
 package gimbal
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
 
+func mustStart(t *testing.T, j *JBOF, ssd int, opts ...WorkloadOption) *Stream {
+	t.Helper()
+	st, err := j.StartWorkload(ssd, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 func TestFacadeQuickstartFlow(t *testing.T) {
 	s := NewSim(42)
-	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeGimbal, SSDs: 2, Condition: Clean,
-		CapacityBytes: 1 << 30})
+	jbof, err := s.NewJBOF(WithScheme(SchemeGimbal), WithSSDs(2), WithCondition(Clean),
+		WithCapacity(1<<30))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if jbof.SSDCount() != 2 {
 		t.Fatalf("SSDs = %d", jbof.SSDCount())
 	}
-	if jbof.Capacity(0) != 1<<30 {
-		t.Fatalf("capacity = %d", jbof.Capacity(0))
+	if cap0, err := jbof.Capacity(0); err != nil || cap0 != 1<<30 {
+		t.Fatalf("capacity = %d, %v", cap0, err)
 	}
-	st := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 4096, QueueDepth: 8})
+	st := mustStart(t, jbof, 0, WithReadFraction(1), WithIOSize(4096), WithQueueDepth(8))
 	s.Run(200 * time.Millisecond)
 	if st.BandwidthMBps() <= 0 {
 		t.Fatal("no bandwidth measured")
@@ -27,10 +37,22 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	if lat.Count == 0 || lat.Avg <= 0 || lat.P999 < lat.P50 {
 		t.Fatalf("latency summary inconsistent: %+v", lat)
 	}
-	if _, ok := jbof.View(0); !ok {
-		t.Fatal("gimbal JBOF should expose a view")
+	if _, err := jbof.View(0); err != nil {
+		t.Fatalf("gimbal JBOF should expose a view: %v", err)
+	}
+	if st.Done() {
+		t.Fatal("running stream reports Done")
+	}
+	if st.Err() != nil {
+		t.Fatalf("healthy stream reports %v", st.Err())
 	}
 	st.Stop()
+	if !st.Done() {
+		t.Fatal("stopped stream does not report Done")
+	}
+	if st.Err() != nil {
+		t.Fatalf("clean Stop is not a failure, got %v", st.Err())
+	}
 	if s.Now() < 200*time.Millisecond {
 		t.Fatalf("clock = %v", s.Now())
 	}
@@ -38,35 +60,92 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 
 func TestFacadeVanillaHasNoView(t *testing.T) {
 	s := NewSim(1)
-	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeVanilla, CapacityBytes: 1 << 30})
+	jbof, err := s.NewJBOF(WithScheme(SchemeVanilla), WithCapacity(1<<30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := jbof.View(0); ok {
-		t.Fatal("vanilla JBOF should not expose a virtual view")
+	if _, err := jbof.View(0); !errors.Is(err, ErrNoView) {
+		t.Fatalf("vanilla view error = %v, want ErrNoView", err)
 	}
 }
 
-func TestFacadeBadConfigs(t *testing.T) {
+func TestFacadeTypedErrors(t *testing.T) {
 	s := NewSim(1)
-	if _, err := s.NewJBOF(JBOFConfig{Scheme: "bogus"}); err == nil {
-		t.Fatal("bogus scheme accepted")
+	if _, err := s.NewJBOF(WithScheme("bogus")); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("bogus scheme error = %v, want ErrUnknownScheme", err)
 	}
-	if _, err := s.NewJBOF(JBOFConfig{Condition: "soggy"}); err == nil {
-		t.Fatal("bogus condition accepted")
+	if _, err := s.NewJBOF(WithCondition("soggy")); !errors.Is(err, ErrUnknownCondition) {
+		t.Fatalf("bogus condition error = %v, want ErrUnknownCondition", err)
+	}
+	jbof, err := s.NewJBOF(WithSSDs(2), WithCapacity(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jbof.StartWorkload(2); !errors.Is(err, ErrBadSSDIndex) {
+		t.Fatalf("StartWorkload(2) error = %v, want ErrBadSSDIndex", err)
+	}
+	if _, err := jbof.StartWorkload(-1); !errors.Is(err, ErrBadSSDIndex) {
+		t.Fatalf("StartWorkload(-1) error = %v, want ErrBadSSDIndex", err)
+	}
+	if _, err := jbof.Capacity(7); !errors.Is(err, ErrBadSSDIndex) {
+		t.Fatalf("Capacity(7) error = %v, want ErrBadSSDIndex", err)
+	}
+	if _, err := jbof.DeviceStats(7); !errors.Is(err, ErrBadSSDIndex) {
+		t.Fatalf("DeviceStats(7) error = %v, want ErrBadSSDIndex", err)
+	}
+	if _, err := jbof.View(7); !errors.Is(err, ErrBadSSDIndex) {
+		t.Fatalf("View(7) error = %v, want ErrBadSSDIndex", err)
+	}
+	if err := jbof.InjectFaults(FaultPlan{Events: []FaultEvent{
+		{Kind: SSDFail, SSD: 9},
+	}}); !errors.Is(err, ErrBadFaultPlan) {
+		t.Fatalf("out-of-range fault plan error = %v, want ErrBadFaultPlan", err)
+	}
+	if err := jbof.InjectFaults(FaultPlan{Events: []FaultEvent{
+		{Kind: FabricDrop, Stream: 0, Prob: 0.5, Duration: time.Second},
+	}}); !errors.Is(err, ErrBadFaultPlan) {
+		t.Fatalf("fabric fault without streams error = %v, want ErrBadFaultPlan", err)
+	}
+}
+
+func TestFacadeOptionDefaults(t *testing.T) {
+	s := NewSim(5)
+	// No options at all: 1 gimbal SSD, fresh, default capacity.
+	jbof, err := s.NewJBOF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jbof.SSDCount() != 1 {
+		t.Fatalf("default SSDs = %d, want 1", jbof.SSDCount())
+	}
+	if _, err := jbof.View(0); err != nil {
+		t.Fatalf("default scheme should be gimbal (has a view), got %v", err)
+	}
+	// No workload options: a 4KB QD1 random reader that moves data.
+	st := mustStart(t, jbof, 0, WithReadFraction(1))
+	s.Run(100 * time.Millisecond)
+	if st.BandwidthMBps() <= 0 {
+		t.Fatal("default workload idle")
+	}
+	// The struct escape hatch composes with options applied after it.
+	w := Workload{Read: 1, IOSize: 4096, QueueDepth: 4}
+	st2 := mustStart(t, jbof, 0, WithWorkload(w), WithQueueDepth(8), WithWorkloadName("combo"))
+	s.Run(100 * time.Millisecond)
+	if st2.BandwidthMBps() <= 0 {
+		t.Fatal("escape-hatch workload idle")
 	}
 }
 
 func TestFacadeDeterminism(t *testing.T) {
 	run := func() (float64, float64) {
 		s := NewSim(7)
-		jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeGimbal, Condition: Fragmented,
-			CapacityBytes: 1 << 30})
+		jbof, err := s.NewJBOF(WithScheme(SchemeGimbal), WithCondition(Fragmented),
+			WithCapacity(1<<30))
 		if err != nil {
 			t.Fatal(err)
 		}
-		a := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 4096, QueueDepth: 16})
-		b := jbof.StartWorkload(0, Workload{Read: 0, IOSize: 4096, QueueDepth: 16})
+		a := mustStart(t, jbof, 0, WithReadFraction(1), WithIOSize(4096), WithQueueDepth(16))
+		b := mustStart(t, jbof, 0, WithReadFraction(0), WithIOSize(4096), WithQueueDepth(16))
 		s.Run(300 * time.Millisecond)
 		return a.BandwidthMBps(), b.BandwidthMBps()
 	}
@@ -82,13 +161,13 @@ func TestFacadeDeterminism(t *testing.T) {
 
 func TestFacadeRateLimit(t *testing.T) {
 	s := NewSim(3)
-	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeVanilla, Condition: Clean,
-		CapacityBytes: 1 << 30})
+	jbof, err := s.NewJBOF(WithScheme(SchemeVanilla), WithCondition(Clean),
+		WithCapacity(1<<30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 4096, QueueDepth: 16,
-		RateLimitMBps: 50})
+	st := mustStart(t, jbof, 0, WithReadFraction(1), WithIOSize(4096), WithQueueDepth(16),
+		WithRateLimitMBps(50))
 	s.Run(1 * time.Second)
 	if bw := st.BandwidthMBps(); bw > 60 || bw < 35 {
 		t.Fatalf("rate-limited stream at %.1f MB/s, want ~50", bw)
@@ -97,12 +176,12 @@ func TestFacadeRateLimit(t *testing.T) {
 
 func TestFacadeP3600Model(t *testing.T) {
 	s := NewSim(3)
-	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeVanilla, Condition: Clean,
-		CapacityBytes: 1 << 30, P3600: true})
+	jbof, err := s.NewJBOF(WithScheme(SchemeVanilla), WithCondition(Clean),
+		WithCapacity(1<<30), WithP3600())
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := jbof.StartWorkload(0, Workload{Read: 1, IOSize: 128 << 10, QueueDepth: 8})
+	st := mustStart(t, jbof, 0, WithReadFraction(1), WithIOSize(128<<10), WithQueueDepth(8))
 	s.Run(500 * time.Millisecond)
 	// The P3600 model caps 128KB reads near 2.1 GB/s (vs 3.2 on DCT983).
 	if bw := st.BandwidthMBps(); bw < 1500 || bw > 2400 {
@@ -112,14 +191,17 @@ func TestFacadeP3600Model(t *testing.T) {
 
 func TestFacadeDeviceStats(t *testing.T) {
 	s := NewSim(3)
-	jbof, err := s.NewJBOF(JBOFConfig{Scheme: SchemeGimbal, Condition: Fragmented,
-		CapacityBytes: 1 << 30})
+	jbof, err := s.NewJBOF(WithScheme(SchemeGimbal), WithCondition(Fragmented),
+		WithCapacity(1<<30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	jbof.StartWorkload(0, Workload{Read: 0, IOSize: 4096, QueueDepth: 16})
+	mustStart(t, jbof, 0, WithReadFraction(0), WithIOSize(4096), WithQueueDepth(16))
 	s.Run(500 * time.Millisecond)
-	st := jbof.DeviceStats(0)
+	st, err := jbof.DeviceStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.WriteBytes == 0 {
 		t.Fatal("no writes recorded")
 	}
@@ -128,5 +210,79 @@ func TestFacadeDeviceStats(t *testing.T) {
 	}
 	if st.GCMovedPages == 0 || st.Erases == 0 {
 		t.Fatalf("GC idle on fragmented device: %+v", st)
+	}
+}
+
+// TestFacadeFaultDeviceFail injects a permanent device failure and asserts
+// the stream gives up with the typed error while its sibling on the
+// healthy SSD keeps running.
+func TestFacadeFaultDeviceFail(t *testing.T) {
+	s := NewSim(9)
+	jbof, err := s.NewJBOF(WithScheme(SchemeGimbal), WithSSDs(2), WithCondition(Clean),
+		WithCapacity(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := mustStart(t, jbof, 0, WithReadFraction(1), WithQueueDepth(8),
+		WithMaxConsecutiveErrs(16))
+	healthy := mustStart(t, jbof, 1, WithReadFraction(1), WithQueueDepth(8))
+	if err := jbof.InjectFaults(FaultPlan{Seed: 9, Events: []FaultEvent{
+		{Kind: SSDFail, At: 50 * time.Millisecond, SSD: 0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(500 * time.Millisecond)
+	if !doomed.Done() {
+		t.Fatal("stream on failed device never gave up")
+	}
+	if err := doomed.Err(); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("doomed stream Err = %v, want ErrDeviceFailed", err)
+	}
+	if healthy.Done() || healthy.Err() != nil {
+		t.Fatalf("healthy stream disturbed: done=%v err=%v", healthy.Done(), healthy.Err())
+	}
+	if healthy.BandwidthMBps() <= 0 {
+		t.Fatal("healthy stream idle")
+	}
+	v, err := jbof.View(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Failed {
+		t.Fatal("failed device's view does not report Failed")
+	}
+}
+
+// TestFacadeFaultBrownoutRetry injects a brownout and asserts a stream
+// armed with a retry policy rides it out: deadlines fire, reissues happen,
+// and after the window the stream is healthy again.
+func TestFacadeFaultBrownoutRetry(t *testing.T) {
+	s := NewSim(11)
+	jbof, err := s.NewJBOF(WithScheme(SchemeGimbal), WithCondition(Clean),
+		WithCapacity(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mustStart(t, jbof, 0, WithReadFraction(1), WithQueueDepth(8),
+		WithRetry(RetryPolicy{Timeout: 3 * time.Millisecond, MaxRetries: 5,
+			Backoff: 250 * time.Microsecond, BackoffCap: 2 * time.Millisecond}),
+		WithMaxConsecutiveErrs(-1))
+	if err := jbof.InjectFaults(FaultPlan{Seed: 11, Events: []FaultEvent{
+		{Kind: SSDBrownout, At: 100 * time.Millisecond, Duration: 100 * time.Millisecond,
+			SSD: 0, Factor: 200},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(400 * time.Millisecond)
+	if st.Retries() == 0 {
+		t.Fatal("brownout never forced a reissue")
+	}
+	if st.Done() {
+		t.Fatalf("stream with unbounded errors gave up: %v", st.Err())
+	}
+	st.ResetStats()
+	s.Run(100 * time.Millisecond)
+	if st.BandwidthMBps() <= 0 {
+		t.Fatal("stream did not recover after the brownout window")
 	}
 }

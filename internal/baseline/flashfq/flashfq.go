@@ -83,6 +83,25 @@ func (s *Scheduler) Register(t *nvme.Tenant) {
 	}
 }
 
+// Unregister implements nvme.TenantRemover: drop the tenant's queue and
+// virtual-time state, returning undispatched IOs for the caller to abort.
+func (s *Scheduler) Unregister(t *nvme.Tenant) []*nvme.IO {
+	ts, ok := s.tenants[t]
+	if !ok {
+		return nil
+	}
+	orphans := ts.queue
+	ts.queue = nil
+	delete(s.tenants, t)
+	for i, x := range s.order {
+		if x == ts {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return orphans
+}
+
 func (s *Scheduler) cost(io *nvme.IO) float64 {
 	return s.cfg.CostBase + s.cfg.CostPerByte*float64(io.Size)
 }
@@ -97,7 +116,9 @@ func (s *Scheduler) Enqueue(io *nvme.IO) {
 	io.Arrival = s.clk.Now()
 	ts := s.tenants[io.Tenant]
 	if ts == nil {
-		panic("flashfq: unregistered tenant")
+		// Late capsule after the tenant's session disconnected.
+		io.Done(io, nvme.Completion{Status: nvme.StatusAborted})
+		return
 	}
 	start := ts.lastFinish
 	if s.vtime > start {

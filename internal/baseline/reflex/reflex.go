@@ -92,6 +92,23 @@ func (s *Scheduler) Register(t *nvme.Tenant) {
 	}
 }
 
+// Unregister implements nvme.TenantRemover: drop the tenant's queue and
+// round-robin state, returning undispatched IOs for the caller to abort.
+func (s *Scheduler) Unregister(t *nvme.Tenant) []*nvme.IO {
+	ts, ok := s.tenants[t]
+	if !ok {
+		return nil
+	}
+	orphans := ts.queue
+	ts.queue = nil
+	if ts.elem != nil {
+		s.active.Remove(ts.elem)
+		ts.elem = nil
+	}
+	delete(s.tenants, t)
+	return orphans
+}
+
 // cost returns the request's token cost under the offline model.
 func (s *Scheduler) cost(io *nvme.IO) float64 {
 	pages := float64((io.Size + 4095) / 4096)
@@ -113,7 +130,9 @@ func (s *Scheduler) Enqueue(io *nvme.IO) {
 	io.Arrival = s.clk.Now()
 	ts := s.tenants[io.Tenant]
 	if ts == nil {
-		panic("reflex: unregistered tenant")
+		// Late capsule after the tenant's session disconnected.
+		io.Done(io, nvme.Completion{Status: nvme.StatusAborted})
+		return
 	}
 	ts.queue = append(ts.queue, io)
 	if ts.elem == nil {

@@ -28,6 +28,10 @@ func (s *Scheduler) Name() string { return "vanilla" }
 // Register implements nvme.Scheduler (no per-tenant state).
 func (s *Scheduler) Register(t *nvme.Tenant) {}
 
+// Unregister implements nvme.TenantRemover: pass-through holds no queues,
+// so nothing is orphaned — in-flight IOs complete through the device.
+func (s *Scheduler) Unregister(t *nvme.Tenant) []*nvme.IO { return nil }
+
 // Enqueue implements nvme.Scheduler.
 func (s *Scheduler) Enqueue(io *nvme.IO) {
 	if st := s.sub.Check(io); st != nvme.StatusOK {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gimbal/internal/fabric"
+	"gimbal/internal/fault"
 	"gimbal/internal/nvme"
 	"gimbal/internal/obs"
 	"gimbal/internal/sim"
@@ -29,6 +30,13 @@ type FioConfig struct {
 	SamplePeriod int64
 	// Events fire at absolute times during the run (dynamic workloads).
 	Events []TimedEvent
+	// Faults, when set, wraps every device in a fault layer and arms the
+	// plan (chaos experiments). Session indices in the plan address
+	// r.Sessions in Spec order.
+	Faults *fault.Plan
+	// Retry, when set, arms every session with the policy (initiator-side
+	// deadlines + reissue).
+	Retry *fabric.RetryPolicy
 }
 
 // Spec is one worker stream.
@@ -54,6 +62,12 @@ type FioRun struct {
 	// Reg is the run's metrics registry (attached before any tenant
 	// registers, so per-tenant instruments cover the whole run).
 	Reg *obs.Registry
+	// Wraps and Engine exist when a fault plan is armed.
+	Wraps  []*fault.Device
+	Engine *fault.Engine
+
+	retry *fabric.RetryPolicy
+	seed  uint64
 }
 
 // NewFioRun builds the rig: devices, target, sessions, and workers (not
@@ -75,11 +89,18 @@ func NewFioRun(cfg FioConfig) *FioRun {
 
 	var devs []ssd.Device
 	var ssds []*ssd.SSD
+	var wraps []*fault.Device
 	for i := 0; i < cfg.NumSSD; i++ {
 		d := ssd.New(loop, params)
 		d.Precondition(cfg.Cond, rng.Fork())
-		devs = append(devs, d)
 		ssds = append(ssds, d)
+		if cfg.Faults != nil {
+			w := fault.Wrap(loop, d)
+			wraps = append(wraps, w)
+			devs = append(devs, w)
+		} else {
+			devs = append(devs, d)
+		}
 	}
 	tcfg := fabric.DefaultTargetConfig(cfg.Scheme)
 	tcfg.CPU = cfg.CPU
@@ -88,18 +109,77 @@ func NewFioRun(cfg FioConfig) *FioRun {
 	}
 	target := fabric.NewTarget(loop, devs, tcfg)
 
-	r := &FioRun{Loop: loop, Target: target, Devices: ssds, Reg: obs.NewRegistry()}
+	r := &FioRun{Loop: loop, Target: target, Devices: ssds, Reg: obs.NewRegistry(),
+		Wraps: wraps, retry: cfg.Retry, seed: seed}
 	target.AttachObs(r.Reg, nil)
 	for i, spec := range cfg.Specs {
 		r.AddWorker(spec, rng.Fork(), fmt.Sprintf("%s-%d", spec.Name, i))
 	}
+	if cfg.Faults != nil {
+		e := fault.NewEngine(loop, wraps)
+		e.Stall = func(ssdIdx, die int, dur int64) error {
+			return ssds[ssdIdx].InjectDieStall(die, dur)
+		}
+		e.Fabric = func(ev fault.Event, active bool) { r.applyFabricFault(ev, active) }
+		if err := e.Arm(cfg.Faults); err != nil {
+			panic(err) // chaos plans are code, not input
+		}
+		r.Engine = e
+	}
 	return r
+}
+
+// applyFabricFault routes one armed fabric event to its session. Sessions
+// are addressed by Spec order; LinkFaults state is created lazily with a
+// seed derived from the plan seed and the session index, so the fault
+// stream is deterministic regardless of event order.
+func (r *FioRun) applyFabricFault(ev fault.Event, active bool) {
+	if ev.Session < 0 || ev.Session >= len(r.Sessions) {
+		panic(fmt.Sprintf("bench: fault event %s addresses session %d of %d", ev.Kind, ev.Session, len(r.Sessions)))
+	}
+	sess := r.Sessions[ev.Session]
+	if ev.Kind == fault.FabricDisconnect {
+		if active {
+			sess.Disconnect()
+		}
+		return
+	}
+	lf := sess.LinkFaults()
+	if lf == nil {
+		lf = fault.NewLinkFaults(r.seed ^ (uint64(ev.Session)+1)*0x9e3779b97f4a7c15)
+		sess.ArmLinkFaults(lf)
+	}
+	switch ev.Kind {
+	case fault.FabricDrop:
+		if active {
+			lf.SetDrop(ev.Prob)
+		} else {
+			lf.SetDrop(0)
+		}
+	case fault.FabricDuplicate:
+		if active {
+			lf.SetDuplicate(ev.Prob)
+		} else {
+			lf.SetDuplicate(0)
+		}
+	case fault.FabricDelay:
+		if active {
+			lf.SetDelay(ev.Extra)
+			lf.SetJitter(ev.Extra2)
+		} else {
+			lf.SetDelay(0)
+			lf.SetJitter(0)
+		}
+	}
 }
 
 // AddWorker attaches one stream (usable mid-run for dynamic workloads).
 func (r *FioRun) AddWorker(spec Spec, rng *sim.RNG, name string) *workload.Worker {
 	tenant := nvme.NewTenant(len(r.Workers), name)
 	sess := r.Target.Connect(tenant, spec.SSD)
+	if r.retry != nil {
+		sess.SetRetryPolicy(*r.retry)
+	}
 	p := spec.Profile
 	if p.Span == 0 {
 		p.Span = r.Devices[spec.SSD].Capacity()

@@ -51,6 +51,17 @@ func (g *Gate) OnCompletion(credit uint32) {
 	}
 }
 
+// UpdateCredit applies a refreshed grant without completing an exchange.
+// A reply that arrives after its deadline expired no longer completes an
+// IO (the timeout already did), but it still carries the target's current
+// flow-control state — discarding that would leave the client stuck on a
+// stale, possibly far larger, credit during target-side degradation.
+func (g *Gate) UpdateCredit(credit uint32) {
+	if credit > 0 {
+		g.total = credit
+	}
+}
+
 // Credit returns the latest granted credit.
 func (g *Gate) Credit() uint32 { return g.total }
 

@@ -18,6 +18,15 @@ type switchObs struct {
 	costTicks    *obs.Counter
 	costChanges  *obs.Counter
 
+	// Recovery counters (tentpole: failure handling).
+	abortedIOs      *obs.Counter
+	failFastRejects *obs.Counter
+	failLatches     *obs.Counter
+	failRecoveries  *obs.Counter
+	degradeEnters   *obs.Counter
+	degradeExits    *obs.Counter
+	tenantTeardowns *obs.Counter
+
 	// Congestion-state transition counters, one per (class, new state).
 	readTrans  [4]*obs.Counter
 	writeTrans [4]*obs.Counter
@@ -41,17 +50,24 @@ type switchObs struct {
 func (sw *Switch) AttachObs(reg *obs.Registry, ring *obs.TraceRing, ssdIdx int) {
 	lb := obs.L("ssd", strconv.Itoa(ssdIdx))
 	o := &switchObs{
-		pacingStalls: reg.Counter("gimbal_pacing_stalls_total", lb),
-		costTicks:    reg.Counter("gimbal_cost_ticks_total", lb),
-		costChanges:  reg.Counter("gimbal_cost_changes_total", lb),
-		queueDelay:   reg.Histogram("gimbal_queue_delay_ns", lb),
-		pacingStall:  reg.Histogram("gimbal_pacing_stall_ns", lb),
-		readDevLat:   reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read")),
-		writeDevLat:  reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "write")),
-		ring:         ring,
-		ssd:          ssdIdx,
-		readState:    latmon.Underutilized,
-		writeState:   latmon.Underutilized,
+		pacingStalls:    reg.Counter("gimbal_pacing_stalls_total", lb),
+		costTicks:       reg.Counter("gimbal_cost_ticks_total", lb),
+		costChanges:     reg.Counter("gimbal_cost_changes_total", lb),
+		abortedIOs:      reg.Counter("gimbal_aborted_ios_total", lb),
+		failFastRejects: reg.Counter("gimbal_failfast_rejects_total", lb),
+		failLatches:     reg.Counter("gimbal_failfast_latches_total", lb),
+		failRecoveries:  reg.Counter("gimbal_failfast_recoveries_total", lb),
+		degradeEnters:   reg.Counter("gimbal_degrade_enters_total", lb),
+		degradeExits:    reg.Counter("gimbal_degrade_exits_total", lb),
+		tenantTeardowns: reg.Counter("gimbal_tenant_teardowns_total", lb),
+		queueDelay:      reg.Histogram("gimbal_queue_delay_ns", lb),
+		pacingStall:     reg.Histogram("gimbal_pacing_stall_ns", lb),
+		readDevLat:      reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read")),
+		writeDevLat:     reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "write")),
+		ring:            ring,
+		ssd:             ssdIdx,
+		readState:       latmon.Underutilized,
+		writeState:      latmon.Underutilized,
 	}
 	for st := latmon.Underutilized; st <= latmon.Overloaded; st++ {
 		rl := obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read", "state", st.String())
@@ -61,6 +77,13 @@ func (sw *Switch) AttachObs(reg *obs.Registry, ring *obs.TraceRing, ssdIdx int) 
 	}
 
 	reg.Help("gimbal_pacing_stalls_total", "IOs that waited for rate-pacer tokens")
+	reg.Help("gimbal_aborted_ios_total", "IOs completed with StatusAborted at the switch (teardown or late capsule)")
+	reg.Help("gimbal_failfast_rejects_total", "IOs rejected while the device was latched failed")
+	reg.Help("gimbal_failfast_latches_total", "times the fail-fast latch engaged")
+	reg.Help("gimbal_failfast_recoveries_total", "times the fail-fast latch released")
+	reg.Help("gimbal_degrade_enters_total", "times graceful degradation engaged")
+	reg.Help("gimbal_degrade_exits_total", "times graceful degradation released")
+	reg.Help("gimbal_tenant_teardowns_total", "tenant sessions torn down with state reclaim")
 	reg.Help("gimbal_congestion_transitions_total", "latency-monitor congestion state changes")
 	reg.Help("gimbal_device_latency_ns", "raw device service time")
 	reg.Help("gimbal_queue_delay_ns", "scheduler queueing delay (arrival to DRR admit)")

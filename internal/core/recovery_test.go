@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"gimbal/internal/fault"
+	"gimbal/internal/nvme"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// TestUnregisterReclaimsSlotAllotments asserts the §3.5 redistribution
+// runs on teardown: with MaxSlots 8, two contending tenants hold allot 4
+// each; after one disconnects the survivor's allotment returns to 8, and
+// the dead tenant's credit reads zero.
+func TestUnregisterReclaimsSlotAllotments(t *testing.T) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 1<<30, 50*sim.Microsecond)
+	sw := New(loop, dev, DefaultConfig())
+
+	t1, t2 := nvme.NewTenant(1, "alive"), nvme.NewTenant(2, "dead")
+	sw.Register(t1)
+	sw.Register(t2)
+
+	submit := func(tn *nvme.Tenant, n int) {
+		for i := 0; i < n; i++ {
+			io := &nvme.IO{Op: nvme.OpRead, Offset: int64(i) * 4096, Size: 4096, Tenant: tn,
+				Done: func(io *nvme.IO, cpl nvme.Completion) {}}
+			sw.Enqueue(io)
+		}
+	}
+	submit(t1, 16)
+	submit(t2, 16)
+	loop.Run()
+
+	maxSlots := DefaultConfig().Sched.Slots.MaxSlots
+	if c := int(sw.Credit(t1)); c > maxSlots/2*int(DefaultConfig().Sched.Slots.InitialCount) {
+		// Both tenants contended, so each holds at most half the slots.
+		t.Logf("credit under contention: %d", c)
+	}
+
+	orphans := sw.Unregister(t2)
+	if len(orphans) != 0 {
+		t.Fatalf("drained tenant returned %d orphans", len(orphans))
+	}
+	if got := sw.Credit(t2); got != 0 {
+		t.Fatalf("dead tenant still advertises credit %d", got)
+	}
+	if sw.DRR().Registered(t2) {
+		t.Fatalf("dead tenant still registered")
+	}
+
+	// Survivor's allotment must now cover all slots again.
+	submit(t1, 8)
+	loop.Run()
+	slots := sw.DRR().Slots(t1)
+	if slots == nil {
+		t.Fatalf("survivor lost its slot state")
+	}
+	wantCredit := uint32(maxSlots) * uint32(DefaultConfig().Sched.Slots.InitialCount)
+	if got := slots.Credit(); got != wantCredit {
+		t.Fatalf("survivor credit after teardown = %d, want %d (full allotment)", got, wantCredit)
+	}
+}
+
+// TestUnregisterAbortsQueuedIOs asserts queued-but-never-dispatched IOs
+// come back as orphans while in-flight IOs still complete normally.
+func TestUnregisterAbortsQueuedIOs(t *testing.T) {
+	loop := sim.NewLoop()
+	dev := ssd.NewNull(loop, 1<<30, 1*sim.Millisecond)
+	sw := New(loop, dev, DefaultConfig())
+
+	tn := nvme.NewTenant(1, "t")
+	sw.Register(tn)
+	completed := 0
+	// 128KB reads: one per virtual slot, so at most MaxSlots are in
+	// flight and the rest stay queued in the DRR.
+	for i := 0; i < 64; i++ {
+		io := &nvme.IO{Op: nvme.OpRead, Offset: int64(i) * 131072, Size: 131072, Tenant: tn,
+			Done: func(io *nvme.IO, cpl nvme.Completion) { completed++ }}
+		sw.Enqueue(io)
+	}
+	// Don't run the loop: some IOs are at the device (slots), the rest
+	// queued in the DRR.
+	orphans := sw.Unregister(tn)
+	if len(orphans) == 0 {
+		t.Fatalf("expected queued orphans with a slow device")
+	}
+	inFlight := 64 - len(orphans)
+	if inFlight <= 0 {
+		t.Fatalf("expected some IOs in flight, got none (orphans=%d)", len(orphans))
+	}
+	loop.Run()
+	if completed != inFlight {
+		t.Fatalf("in-flight completions = %d, want %d", completed, inFlight)
+	}
+	// Late enqueue for the dead tenant must abort, not panic.
+	aborted := false
+	sw.Enqueue(&nvme.IO{Op: nvme.OpRead, Size: 4096, Tenant: tn,
+		Done: func(io *nvme.IO, cpl nvme.Completion) { aborted = cpl.Status == nvme.StatusAborted }})
+	if !aborted {
+		t.Fatalf("late enqueue for dead tenant did not abort")
+	}
+}
+
+// TestFailFastLatchAndProbe drives the switch against a failed device and
+// asserts the latch engages after the threshold, rejects follow-on IOs
+// immediately, lets probes through, and unlatches once the device heals.
+func TestFailFastLatchAndProbe(t *testing.T) {
+	loop := sim.NewLoop()
+	fd := fault.Wrap(loop, ssd.NewNull(loop, 1<<30, 20*sim.Microsecond))
+	cfg := DefaultConfig()
+	cfg.Recovery = RecoveryConfig{FailFastThreshold: 8, FailFastProbe: 16}
+	sw := New(loop, fd, cfg)
+	tn := nvme.NewTenant(1, "t")
+	sw.Register(tn)
+
+	var statuses []nvme.Status
+	submit := func() {
+		io := &nvme.IO{Op: nvme.OpRead, Size: 4096, Tenant: tn,
+			Done: func(io *nvme.IO, cpl nvme.Completion) { statuses = append(statuses, cpl.Status) }}
+		sw.Enqueue(io)
+		loop.Run()
+	}
+
+	fd.SetFailed(true)
+	for i := 0; i < 8; i++ {
+		submit()
+	}
+	if !sw.FailedFast() {
+		t.Fatalf("latch not engaged after %d consecutive errors", len(statuses))
+	}
+	for _, st := range statuses {
+		if st != nvme.StatusInternalErr {
+			t.Fatalf("pre-latch completion status = %v, want media error", st)
+		}
+	}
+	statuses = nil
+	for i := 0; i < 15; i++ {
+		submit()
+	}
+	for _, st := range statuses {
+		if st != nvme.StatusDeviceFailed {
+			t.Fatalf("latched status = %v, want StatusDeviceFailed", st)
+		}
+	}
+	if !sw.View().Failed {
+		t.Fatalf("virtual view does not expose the failure")
+	}
+
+	// Heal the device; the 16th reject becomes a probe, completes OK, and
+	// unlatches.
+	fd.SetFailed(false)
+	statuses = nil
+	submit() // the probe
+	if sw.FailedFast() {
+		t.Fatalf("probe success did not unlatch")
+	}
+	if statuses[0] != nvme.StatusOK {
+		t.Fatalf("probe status = %v, want OK", statuses[0])
+	}
+	submit()
+	if statuses[1] != nvme.StatusOK {
+		t.Fatalf("post-recovery status = %v, want OK", statuses[1])
+	}
+}
+
+// TestDegradeClampsCredit brown-outs the device hard and asserts the
+// switch enters degradation (target rate collapsed below the threshold for
+// the hysteresis window) and clamps the piggybacked credit.
+func TestDegradeClampsCredit(t *testing.T) {
+	loop := sim.NewLoop()
+	// ×20 brownout pushes service time to 2ms — past the degrade latency
+	// bound, so after the hysteresis window the switch clamps credits.
+	fd := fault.Wrap(loop, ssd.NewNull(loop, 1<<30, 100*sim.Microsecond))
+	fd.SetFactor(20)
+	cfg := DefaultConfig()
+	cfg.Recovery = RecoveryConfig{DegradeLatency: 1500 * sim.Microsecond, DegradedCredit: 4, DegradeTicks: 3}
+	sw := New(loop, fd, cfg)
+	tn := nvme.NewTenant(1, "t")
+	sw.Register(tn)
+
+	var lastCredit uint32
+	var inflight int
+	var submit func()
+	submit = func() {
+		io := &nvme.IO{Op: nvme.OpRead, Size: 4096, Tenant: tn,
+			Done: func(io *nvme.IO, cpl nvme.Completion) {
+				lastCredit = cpl.Credit
+				inflight--
+				if loop.Now() < 2*sim.Second {
+					submit()
+				}
+			}}
+		inflight++
+		sw.Enqueue(io)
+	}
+	for i := 0; i < 8; i++ {
+		submit()
+	}
+	loop.Run()
+
+	if !sw.Degraded() {
+		t.Fatalf("switch never degraded (target rate %.0f MB/s)", sw.Rate().TargetRate()/1e6)
+	}
+	if !sw.View().Degraded {
+		t.Fatalf("virtual view does not expose degradation")
+	}
+	if lastCredit > 4 {
+		t.Fatalf("degraded credit = %d, want ≤ 4", lastCredit)
+	}
+}

@@ -218,16 +218,63 @@ func (d *DRR) Register(t *nvme.Tenant) {
 }
 
 // Slots exposes a tenant's virtual-slot state (for credit computation).
+// It returns nil for tenants that were never registered or have been
+// unregistered.
 func (d *DRR) Slots(t *nvme.Tenant) *vslot.Tenant {
-	return d.tenants[t].slots
+	ts, ok := d.tenants[t]
+	if !ok {
+		return nil
+	}
+	return ts.slots
+}
+
+// Registered reports whether the tenant currently has scheduler state.
+func (d *DRR) Registered(t *nvme.Tenant) bool {
+	_, ok := d.tenants[t]
+	return ok
+}
+
+// Unregister tears down a tenant's scheduler state (session disconnect):
+// the tenant leaves the active/deferred lists, its slot allotment returns
+// to the redistribution pool, and its vslot state is dropped wholesale so
+// no credit can remain stranded. Queued IOs are returned for the caller to
+// abort; IOs already committed to the device complete through Complete,
+// which tolerates the missing tenant.
+func (d *DRR) Unregister(t *nvme.Tenant) []*nvme.IO {
+	ts, ok := d.tenants[t]
+	if !ok {
+		return nil
+	}
+	var orphans []*nvme.IO
+	for p := range ts.queues {
+		q := &ts.queues[p]
+		for q.len() > 0 {
+			orphans = append(orphans, q.pop())
+		}
+	}
+	ts.queued = 0
+	if ts.where != idle {
+		d.idle_(ts) // leaves the lists and releases the slot share
+	}
+	delete(d.tenants, t)
+	for i, x := range d.all {
+		if x == ts {
+			d.all = append(d.all[:i], d.all[i+1:]...)
+			break
+		}
+	}
+	d.redistribute()
+	return orphans
 }
 
 // Enqueue adds an IO to its tenant's priority queue, activating the tenant
-// if it was idle.
-func (d *DRR) Enqueue(io *nvme.IO) {
+// if it was idle. It reports false — leaving the IO untouched — when the
+// tenant is not registered (e.g. an in-flight capsule arriving after its
+// session disconnected).
+func (d *DRR) Enqueue(io *nvme.IO) bool {
 	ts, ok := d.tenants[io.Tenant]
 	if !ok {
-		panic("sched: Enqueue for unregistered tenant " + io.Tenant.Name)
+		return false
 	}
 	wasEmpty := ts.empty()
 	ts.queues[io.Priority].push(io)
@@ -240,6 +287,7 @@ func (d *DRR) Enqueue(io *nvme.IO) {
 			d.defer_(ts)
 		}
 	}
+	return true
 }
 
 // contend marks the tenant as competing for the device and rebalances slot
@@ -343,7 +391,12 @@ func (d *DRR) Commit(io *nvme.IO) {
 // Sched_Complete). A deferred tenant whose slot freed rejoins the end of
 // the active list. It returns the tenant's refreshed credit.
 func (d *DRR) Complete(io *nvme.IO) (credit uint32) {
-	ts := d.tenants[io.Tenant]
+	ts, ok := d.tenants[io.Tenant]
+	if !ok {
+		// Tenant unregistered while the IO was at the device: its vslot
+		// state is gone, so there is no credit to refresh.
+		return 0
+	}
 	slot := io.Sched.(*vslot.Slot)
 	freed, _ := ts.slots.Complete(slot)
 	if freed && ts.where == deferred {

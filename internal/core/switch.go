@@ -33,6 +33,54 @@ type Config struct {
 	DisableCongestionControl bool
 	// DisableDynamicCost pins the write cost at worst case (ablation).
 	DisableDynamicCost bool
+
+	// Recovery configures the failure-handling extensions (fail-fast on a
+	// dead device, graceful degradation on a browning-out one). The zero
+	// value disables them entirely, preserving the paper-faithful behavior.
+	Recovery RecoveryConfig
+}
+
+// RecoveryConfig tunes the switch's failure handling. All features are off
+// at the zero value.
+type RecoveryConfig struct {
+	// FailFastThreshold latches the device as failed after this many
+	// consecutive media errors; subsequent IOs are rejected immediately
+	// with StatusDeviceFailed instead of queuing behind a dead device.
+	// 0 disables fail-fast.
+	FailFastThreshold int
+	// FailFastProbe lets every Nth rejected IO through as a probe so a
+	// device that comes back unlatches. 0 means no probing.
+	FailFastProbe int
+
+	// DegradeLatency enters graceful degradation when the device's
+	// smoothed latency (either direction's monitor) sits above this for
+	// DegradeTicks cost periods. The dynamic threshold (§3.2) tracks load
+	// and tops out near ThreshMax, so a healthy-but-busy SSD hovers at or
+	// below it; a browning-out SSD pins its EWMA far past any load-induced
+	// level. While degraded, each tenant's piggybacked credit is clamped
+	// to DegradedCredit so initiators stop piling deadline-doomed work
+	// (and its retry storm) onto the sick SSD and shift load to healthy
+	// ones via the §3.7 virtual view. 0 disables degradation.
+	DegradeLatency int64
+	// DegradedCredit is the per-tenant credit cap while degraded.
+	DegradedCredit uint32
+	// DegradeTicks is the hysteresis, in cost periods, for entering and
+	// leaving degradation.
+	DegradeTicks int
+}
+
+// DefaultRecoveryConfig returns the settings used by the chaos evaluation:
+// latch after 8 consecutive errors, probe every 64th reject, degrade when
+// smoothed device latency sits above 1.5ms for 3 cost periods, clamping
+// credit to 4 slots.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{
+		FailFastThreshold: 8,
+		FailFastProbe:     64,
+		DegradeLatency:    1500 * sim.Microsecond,
+		DegradedCredit:    4,
+		DegradeTicks:      3,
+	}
 }
 
 // DefaultConfig returns the paper's DCT983 configuration.
@@ -56,6 +104,11 @@ type View struct {
 	WriteShareBps     float64
 	ReadEWMAUs        float64
 	WriteEWMAUs       float64
+
+	// Degraded reports the switch clamped credits because the device is
+	// browning out; Failed reports the fail-fast latch is set.
+	Degraded bool
+	Failed   bool
 }
 
 // Switch is the Gimbal storage switch for one SSD. It implements
@@ -80,6 +133,15 @@ type Switch struct {
 
 	writesInPeriod int
 	pumping        bool
+
+	// Recovery state (all zero and untouched unless cfg.Recovery enables
+	// the corresponding feature, keeping the healthy path branch-cheap).
+	consecErrs int  // consecutive media errors (fail-fast)
+	failed     bool // fail-fast latch
+	probeLeft  int  // rejects until the next probe is let through
+	degraded   bool // credit clamp active
+	sickTicks  int  // cost periods with EWMA latency above DegradeLatency
+	wellTicks  int  // cost periods back below it while degraded
 
 	// Counters for the overhead accounting (Table 1). Atomic because the
 	// live endpoint reads them from scrape goroutines while completions
@@ -117,6 +179,23 @@ func (sw *Switch) Name() string { return "gimbal" }
 // Register implements nvme.Scheduler.
 func (sw *Switch) Register(t *nvme.Tenant) { sw.drr.Register(t) }
 
+// EnableRecovery switches on the failure-handling extensions after
+// construction (the facade arms it when a fault plan is injected). Call
+// from scheduler context before the faults fire.
+func (sw *Switch) EnableRecovery(rc RecoveryConfig) { sw.cfg.Recovery = rc }
+
+// Unregister implements nvme.TenantRemover: it reclaims the tenant's DRR
+// and vslot state and returns its never-dispatched IOs for the caller to
+// abort.
+func (sw *Switch) Unregister(t *nvme.Tenant) []*nvme.IO {
+	orphans := sw.drr.Unregister(t)
+	if sw.obs != nil {
+		sw.obs.tenantTeardowns.Inc()
+		sw.obs.abortedIOs.Add(int64(len(orphans)))
+	}
+	return orphans
+}
+
 // weighted returns the cost-weighted size used by the DRR and the slots
 // (§3.5): write cost × size for writes, size for reads, zero for barriers.
 func (sw *Switch) weighted(io *nvme.IO) int64 {
@@ -137,8 +216,30 @@ func (sw *Switch) Enqueue(io *nvme.IO) {
 		io.Done(io, nvme.Completion{Status: st})
 		return
 	}
+	if sw.failed {
+		// Fail-fast: reject instead of queueing behind a dead device, but
+		// periodically let a probe through so a recovered device unlatches.
+		if sw.cfg.Recovery.FailFastProbe > 0 {
+			sw.probeLeft--
+		}
+		if sw.probeLeft > 0 || sw.cfg.Recovery.FailFastProbe <= 0 {
+			if sw.obs != nil {
+				sw.obs.failFastRejects.Inc()
+			}
+			io.Done(io, nvme.Completion{Status: nvme.StatusDeviceFailed})
+			return
+		}
+		sw.probeLeft = sw.cfg.Recovery.FailFastProbe
+	}
 	io.Arrival = sw.clk.Now()
-	sw.drr.Enqueue(io)
+	if !sw.drr.Enqueue(io) {
+		// Tenant already unregistered (late capsule after disconnect).
+		io.Done(io, nvme.Completion{Status: nvme.StatusAborted})
+		if sw.obs != nil {
+			sw.obs.abortedIOs.Add(1)
+		}
+		return
+	}
 	sw.pump()
 }
 
@@ -189,6 +290,26 @@ func (sw *Switch) pump() {
 // the completion (Algorithm 1 Completion).
 func (sw *Switch) onDeviceDone(io *nvme.IO) {
 	sw.completions.Add(1)
+	if rc := &sw.cfg.Recovery; rc.FailFastThreshold > 0 {
+		if io.Failed {
+			sw.consecErrs++
+			if !sw.failed && sw.consecErrs >= rc.FailFastThreshold {
+				sw.failed = true
+				sw.probeLeft = rc.FailFastProbe
+				if sw.obs != nil {
+					sw.obs.failLatches.Inc()
+				}
+			}
+		} else {
+			sw.consecErrs = 0
+			if sw.failed {
+				sw.failed = false
+				if sw.obs != nil {
+					sw.obs.failRecoveries.Inc()
+				}
+			}
+		}
+	}
 	lat := io.DeviceLatency()
 	isWrite := io.Op.IsWrite()
 	mon := sw.rmon
@@ -204,6 +325,12 @@ func (sw *Switch) onDeviceDone(io *nvme.IO) {
 		sw.rate.OnCompletion(sw.clk.Now(), io.Size, state)
 	}
 	credit := sw.drr.Complete(io)
+	if sw.degraded && sw.cfg.Recovery.DegradedCredit > 0 && credit > sw.cfg.Recovery.DegradedCredit {
+		// Graceful degradation: advertise a clamped credit so initiators
+		// steer new load toward healthy SSDs (§3.7) while existing IOs
+		// still drain.
+		credit = sw.cfg.Recovery.DegradedCredit
+	}
 	io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io), Credit: credit})
 	if sw.obs != nil {
 		sw.obs.onComplete(io, sw.clk.Now())
@@ -220,6 +347,7 @@ func (sw *Switch) costTick() {
 	defer func() {
 		sw.clk.After(sw.cfg.CostPeriod, sw.costTickFn).MarkDaemon()
 	}()
+	sw.degradeTick()
 	if sw.cfg.DisableDynamicCost {
 		return
 	}
@@ -240,6 +368,53 @@ func (sw *Switch) costTick() {
 	sw.pump()
 }
 
+// degradeTick runs once per cost period and drives the degradation
+// hysteresis: smoothed device latency pinned past DegradeLatency (far
+// beyond where the dynamic threshold would sit under mere load) enters
+// the credit clamp; a sustained return below it leaves.
+func (sw *Switch) degradeTick() {
+	rc := &sw.cfg.Recovery
+	if rc.DegradeLatency <= 0 {
+		return
+	}
+	lat := float64(0)
+	if sw.rmon.Initialized() {
+		lat = sw.rmon.EWMA()
+	}
+	if sw.wmon.Initialized() && sw.wmon.EWMA() > lat {
+		lat = sw.wmon.EWMA()
+	}
+	sick := lat > float64(rc.DegradeLatency)
+	if sick {
+		sw.sickTicks++
+		sw.wellTicks = 0
+	} else {
+		sw.wellTicks++
+		sw.sickTicks = 0
+	}
+	ticks := rc.DegradeTicks
+	if ticks < 1 {
+		ticks = 1
+	}
+	if !sw.degraded && sw.sickTicks >= ticks {
+		sw.degraded = true
+		if sw.obs != nil {
+			sw.obs.degradeEnters.Inc()
+		}
+	} else if sw.degraded && sw.wellTicks >= ticks {
+		sw.degraded = false
+		if sw.obs != nil {
+			sw.obs.degradeExits.Inc()
+		}
+	}
+}
+
+// Degraded reports whether the credit clamp is active.
+func (sw *Switch) Degraded() bool { return sw.degraded }
+
+// FailedFast reports whether the fail-fast latch is set.
+func (sw *Switch) FailedFast() bool { return sw.failed }
+
 // View implements the per-SSD virtual view (§3.7).
 func (sw *Switch) View() View {
 	c := sw.cost.Cost()
@@ -252,6 +427,8 @@ func (sw *Switch) View() View {
 		WriteShareBps:     tr * 1 / (1 + c),
 		ReadEWMAUs:        sw.rmon.EWMA() / 1e3,
 		WriteEWMAUs:       sw.wmon.EWMA() / 1e3,
+		Degraded:          sw.degraded,
+		Failed:            sw.failed,
 	}
 }
 
@@ -261,8 +438,15 @@ func (sw *Switch) Submits() int64 { return sw.submits.Load() }
 // Completions returns the number of device completions processed.
 func (sw *Switch) Completions() int64 { return sw.completions.Load() }
 
-// Credit returns the current credit of a tenant (target-side view).
-func (sw *Switch) Credit(t *nvme.Tenant) uint32 { return sw.drr.Slots(t).Credit() }
+// Credit returns the current credit of a tenant (target-side view). An
+// unregistered (disconnected) tenant holds no credit.
+func (sw *Switch) Credit(t *nvme.Tenant) uint32 {
+	slots := sw.drr.Slots(t)
+	if slots == nil {
+		return 0
+	}
+	return slots.Credit()
+}
 
 // Monitors exposes the read and write latency monitors (Fig 17/18 traces).
 func (sw *Switch) Monitors() (read, write *latmon.Monitor) { return sw.rmon, sw.wmon }

@@ -3,9 +3,58 @@ package fabric
 import (
 	"gimbal/internal/baseline/parda"
 	"gimbal/internal/core/credit"
+	"gimbal/internal/fault"
 	"gimbal/internal/nvme"
 	"gimbal/internal/sim"
 )
+
+// RetryPolicy is the initiator-side recovery contract: each attempt gets a
+// deadline; an expired attempt is reissued after capped exponential
+// backoff until the retry budget runs out, at which point the IO completes
+// with StatusTimeout. Reissue is idempotent — each attempt travels as its
+// own capsule and the first reply wins, so late or duplicate replies are
+// counted and discarded rather than double-completing.
+type RetryPolicy struct {
+	// Timeout is the per-attempt deadline. 0 disables deadlines (and
+	// therefore retries) while keeping the managed send path.
+	Timeout int64
+	// MaxRetries bounds reissues after the first attempt.
+	MaxRetries int
+	// Backoff is the delay before the first reissue; it doubles per
+	// attempt, capped at BackoffCap.
+	Backoff    int64
+	BackoffCap int64
+}
+
+// DefaultRetryPolicy returns the chaos evaluation's settings: 3ms
+// deadline, 5 retries, 250µs initial backoff capped at 4ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Timeout:    3 * sim.Millisecond,
+		MaxRetries: 5,
+		Backoff:    250 * sim.Microsecond,
+		BackoffCap: 4 * sim.Millisecond,
+	}
+}
+
+// backoffDelay returns the wait before reissue number attempt (1-based
+// count of attempts already made).
+func (rp RetryPolicy) backoffDelay(attempt int) int64 {
+	d := rp.Backoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if rp.BackoffCap > 0 && d >= rp.BackoffCap {
+			return rp.BackoffCap
+		}
+	}
+	if rp.BackoffCap > 0 && d > rp.BackoffCap {
+		d = rp.BackoffCap
+	}
+	return d
+}
 
 // Gater is the client-side flow controller of a session: Gimbal's credit
 // gate, PARDA's latency window, or nothing.
@@ -36,7 +85,8 @@ func (c creditGater) OnSubmit()       { c.g.OnSubmit() }
 func (c creditGater) OnCompletion(cpl nvme.Completion, _ int64) {
 	c.g.OnCompletion(cpl.Credit)
 }
-func (c creditGater) Headroom() int { return c.g.Headroom() }
+func (c creditGater) Headroom() int              { return c.g.Headroom() }
+func (c creditGater) UpdateCredit(credit uint32) { c.g.UpdateCredit(credit) }
 
 // pardaGater adapts the PARDA client window.
 type pardaGater struct{ w *parda.Window }
@@ -81,10 +131,30 @@ type Session struct {
 
 	pend []*nvme.IO // gated locally, §4.3's IO rate limiter behavior
 
+	// retry, when set, switches Submit to the managed path: per-attempt
+	// deadlines, bounded reissue, first-reply-wins dedup. lf, when set,
+	// injects frame faults on both directions. Both nil (the default)
+	// keeps the original single-closure send path untouched.
+	retry  *RetryPolicy
+	lf     *fault.LinkFaults
+	closed bool
+
 	// Stats.
-	Submitted int64
-	Completed int64
-	Errors    int64
+	Submitted   int64
+	Completed   int64
+	Errors      int64
+	Retries     int64
+	Timeouts    int64
+	LateReplies int64
+}
+
+// flight tracks one logical IO through the managed path across attempts.
+type flight struct {
+	io       *nvme.IO
+	sendTime int64
+	attempt  int
+	timer    sim.Timer
+	done     bool
 }
 
 // Connect registers the tenant on the target's SSD pipeline and returns a
@@ -123,13 +193,80 @@ func (s *Session) Headroom() int { return s.gate.Headroom() }
 // Pending returns the locally queued (gated) IO count.
 func (s *Session) Pending() int { return len(s.pend) }
 
+// SetRetryPolicy arms the managed send path with per-IO deadlines and
+// bounded reissue. Call before traffic.
+func (s *Session) SetRetryPolicy(rp RetryPolicy) { s.retry = &rp }
+
+// RetryPolicy returns the armed policy, or nil.
+func (s *Session) RetryPolicy() *RetryPolicy { return s.retry }
+
+// ArmLinkFaults attaches frame-fault state to the session. A lossy link
+// without retries would hang client queue slots forever, so arming faults
+// also arms DefaultRetryPolicy unless a policy was set explicitly.
+func (s *Session) ArmLinkFaults(lf *fault.LinkFaults) {
+	if s.retry == nil {
+		rp := DefaultRetryPolicy()
+		s.retry = &rp
+	}
+	s.lf = lf
+}
+
+// LinkFaults returns the armed frame-fault state, or nil.
+func (s *Session) LinkFaults() *fault.LinkFaults { return s.lf }
+
+// Closed reports whether the session has been disconnected.
+func (s *Session) Closed() bool { return s.closed }
+
+// Disconnect tears the session down: the target reclaims the tenant's
+// scheduler state (vslot credits, DRR membership) and aborts its queued
+// IOs; locally gated IOs complete with StatusAborted. In-flight attempts
+// resolve through their deadlines or the target's abort path. Further
+// Submits bounce immediately.
+func (s *Session) Disconnect() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.target.Disconnect(s.ssd, s.tenant)
+	pend := s.pend
+	s.pend = nil
+	for _, io := range pend {
+		s.completeLocal(io, nvme.StatusAborted)
+	}
+}
+
+// localAbortLatency models the initiator's error-handling path for IOs
+// that never reach the wire. It must be non-zero: a closed-loop submitter
+// that reissues on completion would otherwise spin the clock in place.
+const localAbortLatency = 1 * sim.Microsecond
+
+// completeLocal finishes an IO at the client without touching the wire,
+// deferred so callers (worker completion handlers) never re-enter
+// themselves and so abort storms still advance simulated time.
+func (s *Session) completeLocal(io *nvme.IO, st nvme.Status) {
+	s.clk.After(localAbortLatency, func() {
+		io.Done(io, nvme.Completion{Status: st})
+	})
+}
+
+// managed reports whether the session uses the recovery path.
+func (s *Session) managed() bool { return s.retry != nil || s.lf != nil }
+
 // Submit sends one IO to the remote SSD; io.Done fires at the client when
 // the completion capsule arrives. IOs past the flow-control window queue
 // locally (Algorithm 3's device-busy path).
 func (s *Session) Submit(io *nvme.IO) {
 	io.Tenant = s.tenant
+	if s.closed {
+		s.completeLocal(io, nvme.StatusAborted)
+		return
+	}
 	if !s.gate.CanSubmit() {
 		s.pend = append(s.pend, io)
+		return
+	}
+	if s.managed() {
+		s.sendManaged(io)
 		return
 	}
 	s.send(io)
@@ -170,11 +307,169 @@ func (s *Session) send(io *nvme.IO) {
 	s.clk.At(arriveAt, func() { s.target.Ingress(s.ssd, io) })
 }
 
+// sendManaged starts a logical IO on the recovery path. The gate is
+// charged once per logical IO regardless of how many attempts it takes;
+// the flight resolves exactly once (first reply, retry exhaustion, or
+// abort).
+func (s *Session) sendManaged(io *nvme.IO) {
+	s.gate.OnSubmit()
+	s.Submitted++
+	f := &flight{io: io, sendTime: s.clk.Now()}
+	s.sendAttempt(f)
+}
+
+// sendAttempt issues one attempt: a fresh capsule IO (idempotent reissue —
+// the previous attempt may still complete at the target) with its own
+// completion route back to the flight, plus a deadline timer.
+func (s *Session) sendAttempt(f *flight) {
+	f.attempt++
+	a := &nvme.IO{
+		Op:       f.io.Op,
+		Offset:   f.io.Offset,
+		Size:     f.io.Size,
+		Priority: f.io.Priority,
+		Tenant:   f.io.Tenant,
+	}
+	a.Done = func(a *nvme.IO, cpl nvme.Completion) { s.onAttemptReply(f, a, cpl) }
+	s.dispatch(a)
+	if s.retry != nil && s.retry.Timeout > 0 {
+		f.timer = s.clk.After(s.retry.Timeout, func() { s.onDeadline(f) })
+	}
+}
+
+// dispatch puts one attempt capsule on the wire, applying frame faults.
+func (s *Session) dispatch(a *nvme.IO) {
+	if s.lf != nil && s.lf.DropFrame() {
+		return // command capsule lost; the deadline recovers it
+	}
+	wbytes := 0
+	if a.Op.IsWrite() {
+		wbytes = a.Size
+	}
+	arriveAt := s.up.send(s.clk.Now(), wbytes)
+	if s.lf != nil {
+		arriveAt += s.lf.ExtraDelay()
+	}
+	s.clk.At(arriveAt, func() { s.target.Ingress(s.ssd, a) })
+	if s.lf != nil && s.lf.DuplicateFrame() {
+		// A duplicated command frame is a second capsule for the same
+		// attempt; it shares the attempt's completion route and the
+		// flight's first-reply-wins dedup absorbs the extra reply.
+		d := &nvme.IO{
+			Op:       a.Op,
+			Offset:   a.Offset,
+			Size:     a.Size,
+			Priority: a.Priority,
+			Tenant:   a.Tenant,
+			Done:     a.Done,
+		}
+		dupAt := s.up.send(s.clk.Now(), wbytes) + s.lf.ExtraDelay()
+		s.clk.At(dupAt, func() { s.target.Ingress(s.ssd, d) })
+	}
+}
+
+// onAttemptReply carries one attempt's completion capsule back to the
+// client, applying frame faults on the down direction.
+func (s *Session) onAttemptReply(f *flight, a *nvme.IO, cpl nvme.Completion) {
+	if s.lf != nil && s.lf.DropFrame() {
+		return // completion capsule lost; the deadline recovers it
+	}
+	rbytes := 0
+	if a.Op == nvme.OpRead && cpl.Status == nvme.StatusOK {
+		rbytes = a.Size
+	}
+	deliverAt := s.down.send(s.clk.Now(), rbytes)
+	if s.lf != nil {
+		deliverAt += s.lf.ExtraDelay()
+	}
+	s.clk.At(deliverAt, func() { s.deliver(f, a, cpl) })
+}
+
+// creditRefresher is implemented by gaters whose flow-control state can be
+// refreshed from a reply that no longer completes an exchange.
+type creditRefresher interface{ UpdateCredit(uint32) }
+
+// deliver resolves the flight with the first reply to arrive; later
+// replies (duplicates, post-timeout stragglers) are counted and dropped.
+func (s *Session) deliver(f *flight, a *nvme.IO, cpl nvme.Completion) {
+	if f.done {
+		s.LateReplies++
+		// The exchange is over but the capsule still carries the target's
+		// current credit grant; apply it so a client riding out a storm of
+		// timeouts converges on the degraded (clamped) credit instead of
+		// submitting against a stale pre-fault grant.
+		if cr, ok := s.gate.(creditRefresher); ok {
+			cr.UpdateCredit(cpl.Credit)
+		}
+		return
+	}
+	f.done = true
+	f.timer.Cancel()
+	io := f.io
+	io.Arrival, io.Admit = a.Arrival, a.Admit
+	io.DevSubmit, io.DevDone = a.DevSubmit, a.DevDone
+	io.Failed = a.Failed
+	s.finish(f, cpl)
+}
+
+// finish completes the logical IO at the client: gate release, stats, the
+// client callback, then a drain in case the gate opened.
+func (s *Session) finish(f *flight, cpl nvme.Completion) {
+	s.Completed++
+	if cpl.Status != nvme.StatusOK {
+		s.Errors++
+	}
+	s.gate.OnCompletion(cpl, s.clk.Now()-f.sendTime)
+	f.io.Done(f.io, cpl)
+	s.drain()
+}
+
+// onDeadline fires when an attempt's deadline expires without a reply:
+// reissue after backoff while budget remains, otherwise complete with
+// StatusTimeout (StatusAborted on a closed session).
+func (s *Session) onDeadline(f *flight) {
+	if f.done {
+		return
+	}
+	s.Timeouts++
+	if s.closed {
+		f.done = true
+		s.finish(f, nvme.Completion{Status: nvme.StatusAborted})
+		return
+	}
+	if f.attempt > s.retry.MaxRetries {
+		f.done = true
+		s.finish(f, nvme.Completion{Status: nvme.StatusTimeout})
+		return
+	}
+	s.Retries++
+	delay := s.retry.backoffDelay(f.attempt)
+	if delay <= 0 {
+		s.sendAttempt(f)
+		return
+	}
+	s.clk.After(delay, func() {
+		if f.done {
+			return
+		}
+		if s.closed {
+			f.done = true
+			s.finish(f, nvme.Completion{Status: nvme.StatusAborted})
+			return
+		}
+		s.sendAttempt(f)
+	})
+}
+
 // drain forwards locally queued IOs as the gate opens.
 func (s *Session) drain() {
-	for len(s.pend) > 0 && s.gate.CanSubmit() {
+	for len(s.pend) > 0 && !s.closed && s.gate.CanSubmit() {
 		io := s.pend[0]
 		s.pend = s.pend[1:]
-		s.send(io)
+		if s.managed() {
+			s.sendManaged(io)
+		} else {
+			s.send(io)
+		}
 	}
 }

@@ -158,6 +158,26 @@ func (t *Target) Register(ssdIdx int, tenant *nvme.Tenant) {
 	t.observeTenant(ssdIdx, tenant)
 }
 
+// Disconnect tears a tenant down from an SSD pipeline: the scheduler
+// reclaims its state (for Gimbal, the vslot credits and DRR membership, so
+// a dead tenant can never strand slot allotments) and its queued,
+// never-dispatched IOs complete with StatusAborted through their normal
+// completion path (CPU egress charge, telemetry, reply capsule).
+func (t *Target) Disconnect(ssdIdx int, tenant *nvme.Tenant) {
+	p := t.pipes[ssdIdx]
+	for i, tn := range p.tenants {
+		if tn == tenant {
+			p.tenants = append(p.tenants[:i], p.tenants[i+1:]...)
+			break
+		}
+	}
+	if rem, ok := p.Sched.(nvme.TenantRemover); ok {
+		for _, io := range rem.Unregister(tenant) {
+			io.Done(io, nvme.Completion{Status: nvme.StatusAborted})
+		}
+	}
+}
+
 // Ingress injects an IO into a pipeline, charging the per-IO SmartNIC CPU
 // cost on both the submission and completion paths (§2.4). The io.Done
 // already set on the IO receives the completion after the egress charge.

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// failDetectLatency is how long a dead device takes to report an error:
+// commands do not hang forever, they bounce quickly at the controller.
+const failDetectLatency = 10 * sim.Microsecond
+
+// Device wraps an ssd.Device with switchable fault behavior. With no fault
+// armed (the steady state) Submit is one predictable branch ahead of the
+// inner device, so wrapped deployments keep the zero-alloc fast path.
+type Device struct {
+	inner ssd.Device
+	clk   sim.Scheduler
+
+	active bool // any fault engaged; guards the slow path wholesale
+	failed bool
+	factor float64 // service-time multiplier (brownout); 1 = off
+	extra  int64   // added service nanoseconds (latency spike); 0 = off
+
+	// Injected counts IOs that took a fault path; FailedIOs those bounced
+	// with a media error.
+	Injected  int64
+	FailedIOs int64
+}
+
+// Wrap returns dev behind a fault layer. The wrapper is inert until a
+// Set* call engages a fault.
+func Wrap(clk sim.Scheduler, dev ssd.Device) *Device {
+	return &Device{inner: dev, clk: clk, factor: 1}
+}
+
+// Inner returns the wrapped device.
+func (d *Device) Inner() ssd.Device { return d.inner }
+
+// Capacity implements ssd.Device.
+func (d *Device) Capacity() int64 { return d.inner.Capacity() }
+
+// Submit implements ssd.Device.
+func (d *Device) Submit(r *ssd.Request) {
+	if !d.active {
+		d.inner.Submit(r)
+		return
+	}
+	d.submitFaulted(r)
+}
+
+func (d *Device) submitFaulted(r *ssd.Request) {
+	d.Injected++
+	if d.failed {
+		// Dead device: bounce with a media error after the detection
+		// latency, never touching the inner model.
+		d.FailedIOs++
+		now := d.clk.Now()
+		r.SubmitTime = now
+		d.clk.After(failDetectLatency, func() {
+			r.CompleteTime = d.clk.Now()
+			r.MediaErr = true
+			r.Done(r)
+		})
+		return
+	}
+	// Degraded service: stretch the inner completion by the brownout
+	// factor and the spike offset, re-stamping CompleteTime so latency
+	// monitors see the inflated service time.
+	inner := r.Done
+	factor, extra := d.factor, d.extra
+	r.Done = func(r *ssd.Request) {
+		r.Done = inner
+		delay := extra
+		if factor > 1 {
+			delay += int64((factor - 1) * float64(r.CompleteTime-r.SubmitTime))
+		}
+		if delay <= 0 {
+			inner(r)
+			return
+		}
+		r.CompleteTime += delay
+		d.clk.At(r.CompleteTime, func() { inner(r) })
+	}
+	d.inner.Submit(r)
+}
+
+// SetFactor engages (factor > 1) or clears (factor ≤ 1) a brownout.
+func (d *Device) SetFactor(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.factor = factor
+	d.refresh()
+}
+
+// SetExtra engages (extra > 0) or clears a latency spike.
+func (d *Device) SetExtra(extra int64) {
+	if extra < 0 {
+		extra = 0
+	}
+	d.extra = extra
+	d.refresh()
+}
+
+// SetFailed latches or clears full device failure.
+func (d *Device) SetFailed(failed bool) {
+	d.failed = failed
+	d.refresh()
+}
+
+func (d *Device) refresh() {
+	d.active = d.failed || d.factor > 1 || d.extra > 0
+}
+
+// Faulted reports whether any fault is currently engaged.
+func (d *Device) Faulted() bool { return d.active }

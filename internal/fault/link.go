@@ -1,0 +1,94 @@
+package fault
+
+import "gimbal/internal/sim"
+
+// LinkFaults is the per-session fabric fault state the transport consults
+// on each frame. Sessions hold a nil pointer until a plan arms fabric
+// faults, so the no-fault path costs one nil check. All randomness comes
+// from the session's forked plan RNG, keeping chaos runs deterministic
+// regardless of arming order.
+type LinkFaults struct {
+	rng *sim.RNG
+
+	drop   float64 // per-frame drop probability
+	dup    float64 // per-command duplicate probability
+	delay  int64   // fixed added latency per frame
+	jitter int64   // uniform extra latency bound per frame
+
+	Drops int64 // frames discarded
+	Dups  int64 // command frames duplicated
+}
+
+// NewLinkFaults builds the state with its own RNG stream.
+func NewLinkFaults(seed uint64) *LinkFaults {
+	return &LinkFaults{rng: sim.NewRNG(seed)}
+}
+
+// SetDrop sets the per-frame drop probability (0 disables).
+func (lf *LinkFaults) SetDrop(p float64) { lf.drop = clampProb(p) }
+
+// SetDuplicate sets the per-command duplicate probability (0 disables).
+func (lf *LinkFaults) SetDuplicate(p float64) { lf.dup = clampProb(p) }
+
+// SetDelay sets the fixed added per-frame latency (0 disables).
+func (lf *LinkFaults) SetDelay(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	lf.delay = d
+}
+
+// SetJitter sets the uniform extra latency bound (0 disables). Jitter is
+// what produces reordering: back-to-back frames with different draws can
+// arrive swapped.
+func (lf *LinkFaults) SetJitter(j int64) {
+	if j < 0 {
+		j = 0
+	}
+	lf.jitter = j
+}
+
+// DropFrame decides whether to discard one frame. The RNG is consulted
+// only while a drop fault is armed, so arming windows do not perturb the
+// stream outside them.
+func (lf *LinkFaults) DropFrame() bool {
+	if lf.drop <= 0 {
+		return false
+	}
+	if lf.rng.Float64() < lf.drop {
+		lf.Drops++
+		return true
+	}
+	return false
+}
+
+// DuplicateFrame decides whether to clone one command frame.
+func (lf *LinkFaults) DuplicateFrame() bool {
+	if lf.dup <= 0 {
+		return false
+	}
+	if lf.rng.Float64() < lf.dup {
+		lf.Dups++
+		return true
+	}
+	return false
+}
+
+// ExtraDelay returns the added latency for one frame.
+func (lf *LinkFaults) ExtraDelay() int64 {
+	d := lf.delay
+	if lf.jitter > 0 {
+		d += lf.rng.Int63n(lf.jitter)
+	}
+	return d
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

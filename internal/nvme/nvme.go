@@ -82,11 +82,14 @@ type Status uint16
 
 // Status codes.
 const (
-	StatusOK          Status = 0x0000
-	StatusInvalidOp   Status = 0x0001
-	StatusInvalidLBA  Status = 0x0080
-	StatusDeviceBusy  Status = 0x0180 // vendor: device saturated (credit gate)
-	StatusInternalErr Status = 0x0006
+	StatusOK           Status = 0x0000
+	StatusInvalidOp    Status = 0x0001
+	StatusInvalidLBA   Status = 0x0080
+	StatusDeviceBusy   Status = 0x0180 // vendor: device saturated (credit gate)
+	StatusInternalErr  Status = 0x0006
+	StatusAborted      Status = 0x0007 // command aborted (session teardown, tenant removal)
+	StatusTimeout      Status = 0x0181 // vendor: initiator per-IO deadline expired
+	StatusDeviceFailed Status = 0x0182 // vendor: device latched failed (fail-fast)
 )
 
 // Completion is the result of an IO, including the Gimbal credit piggyback
@@ -161,6 +164,17 @@ type Scheduler interface {
 	Enqueue(io *IO)
 	// Name identifies the scheme in reports.
 	Name() string
+}
+
+// TenantRemover is implemented by schedulers that can tear down a
+// tenant's state when its session disconnects. Unregister drops every
+// per-tenant structure (queues, slots, shares) and returns the IOs that
+// were still queued — never dispatched to the device — so the caller can
+// complete them with StatusAborted. IOs already at the device complete
+// through the normal path; schedulers must tolerate completions (and new
+// enqueues) for unregistered tenants without corrupting state.
+type TenantRemover interface {
+	Unregister(t *Tenant) []*IO
 }
 
 // Submitter runs IOs against a device and routes completions; it is the

@@ -511,6 +511,23 @@ func (s *SSD) onProgramDone(pages []uint32, bytes int) {
 	}
 }
 
+// InjectDieStall blocks one die for dur nanoseconds starting now (fault
+// injection: a die stuck in an internal retry/recovery loop). Reads queue
+// behind the stall on the shared die timeline and programs behind it on
+// the program pipeline, exactly like a long internal operation would.
+func (s *SSD) InjectDieStall(die int, dur int64) error {
+	if die < 0 || die >= s.p.Dies() {
+		return fmt.Errorf("ssd: die %d out of range [0,%d)", die, s.p.Dies())
+	}
+	if dur <= 0 {
+		return fmt.Errorf("ssd: non-positive stall duration %d", dur)
+	}
+	now := s.sched.Now()
+	reserve(&s.dieBusy[die], now, dur)
+	reserve(&s.progBusy[die], now, dur)
+	return nil
+}
+
 // FTLCheck validates FTL invariants (exported for tests).
 func (s *SSD) FTLCheck() error { return s.ftl.checkInvariants() }
 

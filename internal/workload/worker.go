@@ -38,6 +38,11 @@ type Profile struct {
 	// used by Fig 9's rate-limited workers.
 	RateLimitBps int64
 
+	// MaxConsecutiveErrs stops the worker after this many back-to-back
+	// error completions (timeouts, device failure, aborts), modeling an
+	// application that gives up on a dead path. 0 = never stop on errors.
+	MaxConsecutiveErrs int
+
 	// Span restricts offsets to [Base, Base+Span) (0 = whole device).
 	Base int64
 	Span int64
@@ -62,6 +67,14 @@ type Worker struct {
 	WriteLat *stats.Histogram
 	Meter    *stats.Meter
 	inflight int
+
+	// Error accounting. okIOs/errIOs count completions since the last
+	// stats reset; consecErrs drives the give-up logic.
+	okIOs      int64
+	errIOs     int64
+	consecErrs int
+	failed     bool
+	lastErr    nvme.Status
 
 	// OnDone, if set, observes every completion (harness time series).
 	OnDone func(io *nvme.IO, cpl nvme.Completion)
@@ -117,6 +130,7 @@ func (w *Worker) ResetStats() {
 	w.ReadLat.Reset()
 	w.WriteLat.Reset()
 	w.Meter.Reset(w.loop.Now())
+	w.okIOs, w.errIOs = 0, 0
 }
 
 // Inflight returns the number of outstanding IOs.
@@ -166,18 +180,42 @@ func (w *Worker) trySubmit() {
 
 func (w *Worker) onDone(io *nvme.IO, cpl nvme.Completion) {
 	w.inflight--
-	lat := w.loop.Now() - io.Arrival
-	if io.Op.IsWrite() {
-		w.WriteLat.Record(lat)
+	if cpl.Status == nvme.StatusOK {
+		// Only successful completions count toward goodput and latency;
+		// timeouts and aborts would otherwise inflate both.
+		lat := w.loop.Now() - io.Arrival
+		if io.Op.IsWrite() {
+			w.WriteLat.Record(lat)
+		} else {
+			w.ReadLat.Record(lat)
+		}
+		w.Meter.Add(int64(io.Size))
+		w.okIOs++
+		w.consecErrs = 0
 	} else {
-		w.ReadLat.Record(lat)
+		w.errIOs++
+		w.lastErr = cpl.Status
+		w.consecErrs++
+		if w.p.MaxConsecutiveErrs > 0 && w.consecErrs >= w.p.MaxConsecutiveErrs {
+			w.failed = true
+			w.stopped = true
+		}
 	}
-	w.Meter.Add(int64(io.Size))
 	if w.OnDone != nil {
 		w.OnDone(io, cpl)
 	}
 	w.trySubmit()
 }
+
+// OKIOs returns successful completions since the last stats reset.
+func (w *Worker) OKIOs() int64 { return w.okIOs }
+
+// Errors returns error completions since the last stats reset.
+func (w *Worker) Errors() int64 { return w.errIOs }
+
+// Failed reports whether the worker gave up on consecutive errors, and the
+// status that tripped it.
+func (w *Worker) Failed() (nvme.Status, bool) { return w.lastErr, w.failed }
 
 func max64(a, b int64) int64 {
 	if a > b {
