@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gimbal/internal/bench"
@@ -36,12 +37,42 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		format   = flag.String("format", "table", "output format: table, csv, or json")
-		list     = flag.Bool("list", false, "list experiment ids")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+		exp        = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		format     = flag.String("format", "table", "output format: table, csv, or json")
+		list       = flag.Bool("list", false, "list experiment ids")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -331,10 +331,12 @@ func (sw *Switch) onDeviceDone(io *nvme.IO) {
 		// still drain.
 		credit = sw.cfg.Recovery.DegradedCredit
 	}
-	io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io), Credit: credit})
+	// Record the trace before handing the IO back: the owner may recycle
+	// it the moment Done returns.
 	if sw.obs != nil {
 		sw.obs.onComplete(io, sw.clk.Now())
 	}
+	io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io), Credit: credit})
 	sw.pump()
 }
 

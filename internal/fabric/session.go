@@ -139,6 +139,11 @@ type Session struct {
 	lf     *fault.LinkFaults
 	closed bool
 
+	// exFree recycles unmanaged-path exchange state (wire envelope plus
+	// pre-bound callbacks); a session holds at most its flow-control
+	// window's worth, so steady-state traffic allocates nothing.
+	exFree []*exchange
+
 	// Stats.
 	Submitted   int64
 	Completed   int64
@@ -146,6 +151,23 @@ type Session struct {
 	Retries     int64
 	Timeouts    int64
 	LateReplies int64
+}
+
+// exchange carries one unmanaged IO across the wire and back: the saved
+// client callback, the send timestamp for the gate's latency signal, and the
+// completion held between target egress and client delivery. Its three
+// callbacks are built once, when the node is first created, and rebound to
+// successive IOs by assignment.
+type exchange struct {
+	s          *Session
+	io         *nvme.IO
+	sendTime   int64
+	clientDone func(*nvme.IO, nvme.Completion)
+	cpl        nvme.Completion
+
+	ingressFn func()
+	devDoneFn func(*nvme.IO, nvme.Completion)
+	deliverFn func()
 }
 
 // flight tracks one logical IO through the managed path across attempts.
@@ -275,7 +297,11 @@ func (s *Session) Submit(io *nvme.IO) {
 func (s *Session) send(io *nvme.IO) {
 	s.gate.OnSubmit()
 	s.Submitted++
-	sendTime := s.clk.Now()
+	ex := s.getExchange()
+	ex.io = io
+	ex.sendTime = s.clk.Now()
+	ex.clientDone = io.Done
+	io.Done = ex.devDoneFn
 
 	// Client → target: command capsule, plus write data fetched by the
 	// target via RDMA_READ (charged to the same direction).
@@ -283,28 +309,53 @@ func (s *Session) send(io *nvme.IO) {
 	if io.Op.IsWrite() {
 		wbytes = io.Size
 	}
-	arriveAt := s.up.send(sendTime, wbytes)
+	arriveAt := s.up.send(ex.sendTime, wbytes)
+	s.clk.At(arriveAt, ex.ingressFn)
+}
 
-	clientDone := io.Done
-	io.Done = func(io *nvme.IO, cpl nvme.Completion) {
-		// Target egress → client: completion capsule plus read data.
-		rbytes := 0
-		if io.Op == nvme.OpRead && cpl.Status == nvme.StatusOK {
-			rbytes = io.Size
-		}
-		deliverAt := s.down.send(s.clk.Now(), rbytes)
-		s.clk.At(deliverAt, func() {
-			s.Completed++
-			if cpl.Status != nvme.StatusOK {
-				s.Errors++
-			}
-			s.gate.OnCompletion(cpl, s.clk.Now()-sendTime)
-			io.Done = clientDone
-			clientDone(io, cpl)
-			s.drain()
-		})
+func (s *Session) getExchange() *exchange {
+	if n := len(s.exFree); n > 0 {
+		ex := s.exFree[n-1]
+		s.exFree = s.exFree[:n-1]
+		return ex
 	}
-	s.clk.At(arriveAt, func() { s.target.Ingress(s.ssd, io) })
+	ex := &exchange{s: s}
+	ex.ingressFn = func() { ex.s.target.Ingress(ex.s.ssd, ex.io) }
+	ex.devDoneFn = func(_ *nvme.IO, cpl nvme.Completion) { ex.onDeviceDone(cpl) }
+	ex.deliverFn = func() { ex.deliver() }
+	return ex
+}
+
+// onDeviceDone runs at target egress: charge the completion capsule (plus
+// read data) to the down direction and schedule client delivery.
+func (ex *exchange) onDeviceDone(cpl nvme.Completion) {
+	s := ex.s
+	rbytes := 0
+	if ex.io.Op == nvme.OpRead && cpl.Status == nvme.StatusOK {
+		rbytes = ex.io.Size
+	}
+	ex.cpl = cpl
+	deliverAt := s.down.send(s.clk.Now(), rbytes)
+	s.clk.At(deliverAt, ex.deliverFn)
+}
+
+// deliver completes the IO at the client: stats, the gate's latency/credit
+// signal, callback restore, then a drain in case the gate opened. The
+// exchange is recycled before the client callback runs so a closed-loop
+// resubmission can take it straight back off the freelist.
+func (ex *exchange) deliver() {
+	s := ex.s
+	s.Completed++
+	if ex.cpl.Status != nvme.StatusOK {
+		s.Errors++
+	}
+	s.gate.OnCompletion(ex.cpl, s.clk.Now()-ex.sendTime)
+	io, clientDone, cpl := ex.io, ex.clientDone, ex.cpl
+	io.Done = clientDone
+	ex.io, ex.clientDone = nil, nil
+	s.exFree = append(s.exFree, ex)
+	clientDone(io, cpl)
+	s.drain()
 }
 
 // sendManaged starts a logical IO on the recovery path. The gate is

@@ -107,6 +107,9 @@ type Target struct {
 	cfg   TargetConfig
 	pipes []*Pipeline
 
+	// opFree recycles per-IO ingress tracking state.
+	opFree []*ingressOp
+
 	// obs is the attached telemetry state; nil by default.
 	obs *targetObs
 }
@@ -178,27 +181,76 @@ func (t *Target) Disconnect(ssdIdx int, tenant *nvme.Tenant) {
 	}
 }
 
+// ingressOp tracks one IO through a pipeline: the saved downstream callback,
+// the completion held across the CPU egress charge, and the pre-bound
+// closures the submit/complete paths schedule. Recycled via t.opFree, so the
+// NIC pipeline allocates nothing per IO in steady state.
+type ingressOp struct {
+	t          *Target
+	pipe       *Pipeline
+	io         *nvme.IO
+	downstream func(*nvme.IO, nvme.Completion)
+	cpl        nvme.Completion
+
+	doneFn     func(*nvme.IO, nvme.Completion)
+	enqueueFn  func()
+	completeFn func()
+}
+
+func (t *Target) getIngressOp() *ingressOp {
+	if n := len(t.opFree); n > 0 {
+		op := t.opFree[n-1]
+		t.opFree = t.opFree[:n-1]
+		return op
+	}
+	op := &ingressOp{t: t}
+	op.doneFn = func(io *nvme.IO, cpl nvme.Completion) { op.onDone(io, cpl) }
+	op.enqueueFn = func() { op.pipe.Sched.Enqueue(op.io) }
+	op.completeFn = func() { op.complete() }
+	return op
+}
+
+// onDone observes the scheduler-side completion, charges the CPU egress
+// cost, and forwards to the downstream (wire) callback.
+func (op *ingressOp) onDone(io *nvme.IO, cpl nvme.Completion) {
+	t := op.t
+	if t.obs != nil {
+		t.obs.onCompletion(io, cpl)
+	}
+	if t.cfg.CPU == nil {
+		op.finish(cpl)
+		return
+	}
+	op.cpl = cpl
+	at := t.cfg.CPU.ChargeIO(t.clk.Now(), t.cfg.CPU.CompleteCost, io.Size)
+	t.clk.At(at, op.completeFn)
+}
+
+func (op *ingressOp) complete() { op.finish(op.cpl) }
+
+// finish recycles the op before invoking downstream so a back-to-back
+// resubmission through this target can reuse it immediately.
+func (op *ingressOp) finish(cpl nvme.Completion) {
+	io, downstream := op.io, op.downstream
+	op.io, op.downstream, op.pipe = nil, nil, nil
+	op.t.opFree = append(op.t.opFree, op)
+	downstream(io, cpl)
+}
+
 // Ingress injects an IO into a pipeline, charging the per-IO SmartNIC CPU
 // cost on both the submission and completion paths (§2.4). The io.Done
 // already set on the IO receives the completion after the egress charge.
 func (t *Target) Ingress(ssdIdx int, io *nvme.IO) {
 	pipe := t.pipes[ssdIdx]
-	downstream := io.Done
-	io.Done = func(io *nvme.IO, cpl nvme.Completion) {
-		if t.obs != nil {
-			t.obs.onCompletion(io, cpl)
-		}
-		if t.cfg.CPU == nil {
-			downstream(io, cpl)
-			return
-		}
-		at := t.cfg.CPU.ChargeIO(t.clk.Now(), t.cfg.CPU.CompleteCost, io.Size)
-		t.clk.At(at, func() { downstream(io, cpl) })
-	}
+	op := t.getIngressOp()
+	op.pipe = pipe
+	op.io = io
+	op.downstream = io.Done
+	io.Done = op.doneFn
 	if t.cfg.CPU == nil {
 		pipe.Sched.Enqueue(io)
 		return
 	}
 	at := t.cfg.CPU.ChargeIO(t.clk.Now(), t.cfg.CPU.SubmitCost, io.Size)
-	t.clk.At(at, func() { pipe.Sched.Enqueue(io) })
+	t.clk.At(at, op.enqueueFn)
 }

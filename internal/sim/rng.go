@@ -14,6 +14,10 @@ func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 // own stream without coupling their sequences.
 func (r *RNG) Fork() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
 
+// State exposes the generator's current state without advancing it, so
+// callers can key memoized computations on the exact stream position.
+func (r *RNG) State() uint64 { return r.state }
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

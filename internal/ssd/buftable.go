@@ -1,0 +1,136 @@
+package ssd
+
+// bufTable maps a logical page number to the count of pending program ops
+// covering it — the write-buffer residency set probed once per page of
+// every read and write. It is a purpose-built open-addressed linear-probe
+// table: uint32 keys, no boxing, no per-entry allocation, deletion by
+// backward shift, and an O(capacity) memclr reset shared by the runtime
+// flush path and the pre-conditioners. A slot is empty iff its count is
+// zero, so keys never need a reserved sentinel value.
+type bufTable struct {
+	keys []uint32
+	cnts []int32
+	used int
+}
+
+const bufTableMinSize = 1024 // power of two
+
+func (t *bufTable) init(size int) {
+	if size < bufTableMinSize {
+		size = bufTableMinSize
+	}
+	t.keys = make([]uint32, size)
+	t.cnts = make([]int32, size)
+	t.used = 0
+}
+
+// slot returns a key's home slot (Knuth multiplicative hash; the odd
+// multiplier spreads the dense, sequential logical page numbers across the
+// table).
+func (t *bufTable) slot(key uint32) uint32 {
+	return (key * 2654435761) & uint32(len(t.keys)-1)
+}
+
+// get returns the pending count for key, or 0.
+func (t *bufTable) get(key uint32) int32 {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); t.cnts[i] != 0; i = (i + 1) & mask {
+		if t.keys[i] == key {
+			return t.cnts[i]
+		}
+	}
+	return 0
+}
+
+// inc adds one pending program op covering key.
+func (t *bufTable) inc(key uint32) {
+	if (t.used+1)*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint32(len(t.keys) - 1)
+	i := t.slot(key)
+	for t.cnts[i] != 0 {
+		if t.keys[i] == key {
+			t.cnts[i]++
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i] = key
+	t.cnts[i] = 1
+	t.used++
+}
+
+// dec drops one pending program op covering key, removing the entry when
+// the count reaches zero. Decrementing an absent key is a no-op (it cannot
+// happen: every dec is paired with a prior inc).
+func (t *bufTable) dec(key uint32) {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); t.cnts[i] != 0; i = (i + 1) & mask {
+		if t.keys[i] != key {
+			continue
+		}
+		if t.cnts[i]--; t.cnts[i] == 0 {
+			t.remove(i)
+		}
+		return
+	}
+}
+
+// remove deletes the entry at slot i by backward shift, preserving the
+// probe-chain reachability of every remaining entry.
+func (t *bufTable) remove(i uint32) {
+	mask := uint32(len(t.keys) - 1)
+	t.used--
+	for {
+		t.cnts[i] = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			if t.cnts[j] == 0 {
+				return
+			}
+			home := t.slot(t.keys[j])
+			// Entry j may fill the hole at i only if its home slot does not
+			// lie strictly inside the cyclic interval (i, j].
+			if (j-home)&mask >= (j-i)&mask {
+				t.keys[i] = t.keys[j]
+				t.cnts[i] = t.cnts[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// grow doubles the table and rehashes the live entries.
+func (t *bufTable) grow() {
+	oldKeys, oldCnts := t.keys, t.cnts
+	t.keys = make([]uint32, 2*len(oldKeys))
+	t.cnts = make([]int32, 2*len(oldCnts))
+	mask := uint32(len(t.keys) - 1)
+	for i, c := range oldCnts {
+		if c == 0 {
+			continue
+		}
+		j := t.slot(oldKeys[i])
+		for t.cnts[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = oldKeys[i]
+		t.cnts[j] = c
+	}
+}
+
+// reset empties the table in one pass, keeping its capacity. Both the
+// runtime flush path and Precondition's post-fill reset go through here.
+func (t *bufTable) reset() {
+	if t.keys == nil {
+		t.init(bufTableMinSize)
+		return
+	}
+	for i := range t.cnts {
+		t.cnts[i] = 0
+	}
+	t.used = 0
+}

@@ -80,6 +80,34 @@ type Stats struct {
 	QueuedHost   int // host commands waiting for an internal slot
 }
 
+// completion is a recyclable completion event: the callback closure is
+// built once per node and rebound to a request by assignment, so the
+// completion of every read, write ack, flush, and trim schedules with zero
+// allocations in steady state.
+type completion struct {
+	s  *SSD
+	r  *Request
+	fn func()
+}
+
+// progOp is a recyclable NAND program batch: the staged logical pages are
+// copied into a reusable array (capacity ProgramPages) and the completion
+// callback is a once-built closure, so the flush pipeline neither copies
+// into fresh slices nor closes over per-batch state.
+type progOp struct {
+	s     *SSD
+	pages []uint32
+	bytes int
+	fn    func()
+}
+
+// readRow is one NAND row touched by a read (scratch for startRead).
+type readRow struct {
+	die   int
+	id    uint32
+	count int
+}
+
 // SSD is the simulated NVMe SSD. All methods must be called in scheduler
 // context (event callbacks or cooperative processes for the virtual clock;
 // holding the RealScheduler lock for the wall clock).
@@ -113,28 +141,38 @@ type SSD struct {
 	lastRow []uint32
 
 	// Write buffer state. Admitted write bytes occupy the buffer until
-	// their program ops complete.
+	// their program ops complete. buf tracks logical page -> pending
+	// program ops (open-addressed, allocation-free in steady state).
 	bufOccupancy int64
-	bufPages     map[uint32]int // logical page -> pending program ops covering it
-	flushDie     int            // round-robin die cursor for flush allocation
-	lastFlushEnd int64          // completion time of the most recent program op
+	buf          bufTable
+	flushDie     int   // round-robin die cursor for flush allocation
+	lastFlushEnd int64 // completion time of the most recent program op
 
-	// Flush staging: buffered pages awaiting NAND programming. Pages are
-	// programmed in full multi-plane batches; a linger timer flushes
-	// stragglers so the buffer always drains. Coalescing buffered pages
-	// from different host commands into one program op is what gives small
-	// buffered writes their sustained bandwidth.
+	// Flush staging: buffered pages awaiting NAND programming, consumed
+	// from flushHead so draining never reallocates. Pages are programmed
+	// in full multi-plane batches; a linger timer flushes stragglers so
+	// the buffer always drains. Coalescing buffered pages from different
+	// host commands into one program op is what gives small buffered
+	// writes their sustained bandwidth.
 	flushPending []uint32
+	flushHead    int
 	lingerEv     sim.Timer
 	lingerFn     func() // cached forced-flush callback (no per-arm closure)
 
 	// Host command admission: at most InternalQD requests are in service;
-	// excess arrivals wait in FIFO order.
+	// excess arrivals wait in FIFO order (consumed from waitHead).
 	inService int
 	waitQ     []*Request
+	waitHead  int
 
 	// Writes admitted to the command stream but blocked on buffer space.
-	bufWaitQ []*Request
+	bufWaitQ    []*Request
+	bufWaitHead int
+
+	// Freelists and scratch recycled by the hot paths.
+	compFree []*completion
+	progFree []*progOp
+	readRows []readRow
 
 	stats Stats
 
@@ -158,8 +196,8 @@ func New(sched sim.Scheduler, p Params) *SSD {
 		gcFence:  make([]int64, p.Dies()),
 		progBusy: make([]int64, p.Dies()),
 		lastRow:  newRowCache(p.Dies()),
-		bufPages: make(map[uint32]int),
 	}
+	s.buf.init(bufTableMinSize)
 	s.lingerFn = func() { s.pumpFlush(true) }
 	return s
 }
@@ -178,7 +216,7 @@ func (s *SSD) Stats() Stats {
 	st.WriteAmp = s.ftl.writeAmplification()
 	st.FreeBlocks = s.ftl.freeBlocks()
 	st.BufOccupancy = s.bufOccupancy
-	st.QueuedHost = len(s.waitQ)
+	st.QueuedHost = len(s.waitQ) - s.waitHead
 	return st
 }
 
@@ -234,18 +272,40 @@ func (s *SSD) start(r *Request) {
 }
 
 // completeAt schedules the request's completion and the follow-on admission
-// of a queued command.
+// of a queued command, reusing a completion node from the freelist.
 func (s *SSD) completeAt(r *Request, t int64) {
-	s.sched.At(t, func() {
-		r.CompleteTime = s.sched.Now()
-		s.inService--
-		if len(s.waitQ) > 0 {
-			next := s.waitQ[0]
-			s.waitQ = s.waitQ[1:]
-			s.start(next)
+	var c *completion
+	if n := len(s.compFree); n > 0 {
+		c = s.compFree[n-1]
+		s.compFree = s.compFree[:n-1]
+	} else {
+		c = &completion{s: s}
+		c.fn = func() { c.s.finish(c) }
+	}
+	c.r = r
+	s.sched.At(t, c.fn)
+}
+
+// finish runs a scheduled completion: stamp the request, free the internal
+// slot, admit the next queued command, recycle the node, and only then hand
+// the request back to its owner.
+func (s *SSD) finish(c *completion) {
+	r := c.r
+	c.r = nil
+	s.compFree = append(s.compFree, c)
+	r.CompleteTime = s.sched.Now()
+	s.inService--
+	if s.waitHead < len(s.waitQ) {
+		next := s.waitQ[s.waitHead]
+		s.waitQ[s.waitHead] = nil
+		s.waitHead++
+		if s.waitHead == len(s.waitQ) {
+			s.waitQ = s.waitQ[:0]
+			s.waitHead = 0
 		}
-		r.Done(r)
-	})
+		s.start(next)
+	}
+	r.Done(r)
 }
 
 // newRowCache builds a register cache with no row latched.
@@ -293,39 +353,37 @@ func reserve(busy *int64, earliest, dur int64) (start, end int64) {
 	return start, end
 }
 
+// addReadRow accumulates a page into the per-SSD row scratch, coalescing
+// pages that share a NAND row.
+func (s *SSD) addReadRow(rowID uint32, die int) {
+	rows := s.readRows
+	for i := range rows {
+		if rows[i].id == rowID {
+			rows[i].count++
+			return
+		}
+	}
+	s.readRows = append(rows, readRow{die: die, id: rowID, count: 1})
+}
+
 // startRead decomposes a read into NAND operations. Logical pages that live
 // in the same NAND row (the multi-plane page a program batch wrote) are
 // served by a single array read — the register holds the whole row — so
 // sequentially written data reads back with high parallelism while random
 // 4KB reads pay one tR each. Each row then transfers its pages over the
 // die's channel. The request completes when its last page lands; pages
-// resident in the write buffer are served at buffer latency.
+// resident in the write buffer are served at buffer latency. Row grouping
+// uses per-SSD scratch, so the whole path allocates nothing.
 func (s *SSD) startRead(r *Request) {
 	now := s.sched.Now() + s.p.CmdOverhead
 	first := uint32(r.Offset / int64(s.p.PageSize))
 	pages := uint32(r.Size / s.p.PageSize)
 	var latest int64 = now + s.p.BufReadLatency
 
-	// Group pages into NAND rows. Requests are at most a few dozen pages;
-	// a small slice beats a map.
-	type row struct {
-		die   int
-		id    uint32
-		count int
-	}
-	var rows []row
-	addPage := func(rowID uint32, die int) {
-		for i := range rows {
-			if rows[i].id == rowID {
-				rows[i].count++
-				return
-			}
-		}
-		rows = append(rows, row{die: die, id: rowID, count: 1})
-	}
+	s.readRows = s.readRows[:0]
 	for i := uint32(0); i < pages; i++ {
 		logical := first + i
-		if s.bufPages[logical] > 0 {
+		if s.buf.get(logical) > 0 {
 			continue // buffer hit: covered by the floor latency above
 		}
 		phys := s.ftl.lookup(logical)
@@ -333,12 +391,12 @@ func (s *SSD) startRead(r *Request) {
 			// Unmapped page: deterministic pseudo-placement, own row.
 			h := uint64(logical) * 0x9e3779b97f4a7c15
 			die := int(h % uint64(s.p.Dies()))
-			addPage(^logical, die)
+			s.addReadRow(^logical, die)
 			continue
 		}
-		addPage(phys/uint32(s.p.ProgramPages), s.ftl.dieOfPhys(phys))
+		s.addReadRow(phys/uint32(s.p.ProgramPages), s.ftl.dieOfPhys(phys))
 	}
-	for _, rw := range rows {
+	for _, rw := range s.readRows {
 		ch := s.ftl.channelOfDie(rw.die)
 		var dieEnd int64
 		if s.lastRow[rw.die] == rw.id {
@@ -379,7 +437,7 @@ func (s *SSD) admitWrite(r *Request) {
 	pages := r.Size / s.p.PageSize
 	for i := 0; i < pages; i++ {
 		logical := first + uint32(i)
-		s.bufPages[logical]++
+		s.buf.inc(logical)
 		s.flushPending = append(s.flushPending, logical)
 	}
 	s.pumpFlush(false)
@@ -393,19 +451,31 @@ const flushLinger = 60 * sim.Microsecond
 
 // pumpFlush issues full program batches from the staging queue; with force
 // it also drains a trailing partial batch. A linger timer guarantees
-// stragglers are flushed even if no further writes arrive.
+// stragglers are flushed even if no further writes arrive. The staging
+// slice is consumed from flushHead and compacted afterwards (the live tail
+// is always shorter than one batch), so sustained flushing reuses one
+// backing array.
 func (s *SSD) pumpFlush(force bool) {
-	for len(s.flushPending) >= s.p.ProgramPages {
-		s.programBatch(s.flushPending[:s.p.ProgramPages])
-		s.flushPending = s.flushPending[s.p.ProgramPages:]
+	pp := s.p.ProgramPages
+	for len(s.flushPending)-s.flushHead >= pp {
+		s.programBatch(s.flushPending[s.flushHead : s.flushHead+pp])
+		s.flushHead += pp
 	}
-	if len(s.flushPending) == 0 {
+	if s.flushHead == len(s.flushPending) {
+		s.flushPending = s.flushPending[:0]
+		s.flushHead = 0
 		return
 	}
 	if force {
-		s.programBatch(s.flushPending)
-		s.flushPending = nil
+		s.programBatch(s.flushPending[s.flushHead:])
+		s.flushPending = s.flushPending[:0]
+		s.flushHead = 0
 		return
+	}
+	if s.flushHead > 0 {
+		n := copy(s.flushPending, s.flushPending[s.flushHead:])
+		s.flushPending = s.flushPending[:n]
+		s.flushHead = 0
 	}
 	if s.lingerEv.Cancelled() {
 		s.lingerEv = s.sched.After(flushLinger, s.lingerFn)
@@ -416,13 +486,23 @@ func (s *SSD) pumpFlush(force bool) {
 // reserves the channel transfer plus program time, charging any GC work the
 // allocation triggered to the same die first (GC blocks the die before the
 // program can proceed — the mechanism behind fragmented-SSD collapse).
+// Batch state lives in a recycled progOp, so steady-state flushing neither
+// copies into fresh slices nor allocates completion closures.
 func (s *SSD) programBatch(batch []uint32) {
 	now := s.sched.Now()
 	die := s.pickFlushDie()
 
-	pages := append([]uint32(nil), batch...)
+	var op *progOp
+	if n := len(s.progFree); n > 0 {
+		op = s.progFree[n-1]
+		s.progFree = s.progFree[:n-1]
+	} else {
+		op = &progOp{s: s, pages: make([]uint32, 0, s.p.ProgramPages)}
+		op.fn = func() { op.s.onProgramDone(op) }
+	}
+	op.pages = append(op.pages[:0], batch...)
 	var work gcWork
-	for _, logical := range pages {
+	for _, logical := range op.pages {
 		w, err := s.ftl.writePage(logical, die)
 		if err != nil {
 			panic(err)
@@ -437,7 +517,7 @@ func (s *SSD) programBatch(batch []uint32) {
 		int64(work.erases)*s.p.EraseLatency
 	if s.obs != nil {
 		s.obs.flushBatches.Inc()
-		s.obs.flushedBytes.Add(int64(len(pages) * s.p.PageSize))
+		s.obs.flushedBytes.Add(int64(len(op.pages) * s.p.PageSize))
 		if gcCost > 0 {
 			s.obs.gcInvocations.Inc()
 		}
@@ -452,8 +532,8 @@ func (s *SSD) programBatch(batch []uint32) {
 	// Programming clobbers the die's page register.
 	s.lastRow[die] = ^uint32(0) >> 1
 	ch := s.ftl.channelOfDie(die)
-	bytes := len(pages) * s.p.PageSize
-	_, xferEnd := reserve(&s.chanBusy[ch], now, s.p.XferTime(bytes))
+	op.bytes = len(op.pages) * s.p.PageSize
+	_, xferEnd := reserve(&s.chanBusy[ch], now, s.p.XferTime(op.bytes))
 	// The program runs at full duration on the die's program pipeline,
 	// behind any GC backlog; co-located reads are charged only the
 	// suspend slice on the shared timeline.
@@ -465,13 +545,15 @@ func (s *SSD) programBatch(batch []uint32) {
 	if progEnd > s.lastFlushEnd {
 		s.lastFlushEnd = progEnd
 	}
-	s.sched.At(progEnd, func() { s.onProgramDone(pages, bytes) })
+	s.sched.At(progEnd, op.fn)
 }
 
 // pickFlushDie advances the round-robin stripe cursor, skipping dies whose
 // free pool is too depleted to accept writes safely (real FTL allocators
 // weight channel selection by free space; without this, valid data slowly
 // concentrates on unlucky dies until their GC has no room to operate).
+// dieWritable memoizes against the die's mutation version, so a round that
+// probes many unchanged dies re-derives nothing.
 func (s *SSD) pickFlushDie() int {
 	n := s.p.Dies()
 	for i := 0; i < n; i++ {
@@ -491,23 +573,27 @@ func (s *SSD) pickFlushDie() int {
 	return best
 }
 
-// onProgramDone releases buffer space and admits writes blocked on it.
-func (s *SSD) onProgramDone(pages []uint32, bytes int) {
-	for _, logical := range pages {
-		if n := s.bufPages[logical]; n <= 1 {
-			delete(s.bufPages, logical)
-		} else {
-			s.bufPages[logical] = n - 1
-		}
+// onProgramDone releases buffer space, admits writes blocked on it, and
+// recycles the batch.
+func (s *SSD) onProgramDone(op *progOp) {
+	for _, logical := range op.pages {
+		s.buf.dec(logical)
 	}
-	s.bufOccupancy -= int64(bytes)
-	for len(s.bufWaitQ) > 0 {
-		r := s.bufWaitQ[0]
+	s.bufOccupancy -= int64(op.bytes)
+	op.pages = op.pages[:0]
+	s.progFree = append(s.progFree, op)
+	for s.bufWaitHead < len(s.bufWaitQ) {
+		r := s.bufWaitQ[s.bufWaitHead]
 		if s.bufOccupancy+int64(r.Size) > s.p.WriteBufBytes {
 			break
 		}
-		s.bufWaitQ = s.bufWaitQ[1:]
+		s.bufWaitQ[s.bufWaitHead] = nil
+		s.bufWaitHead++
 		s.admitWrite(r)
+	}
+	if s.bufWaitHead == len(s.bufWaitQ) {
+		s.bufWaitQ = s.bufWaitQ[:0]
+		s.bufWaitHead = 0
 	}
 }
 

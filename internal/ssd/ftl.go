@@ -5,11 +5,21 @@ import "fmt"
 // invalidPage marks an unmapped logical or physical page.
 const invalidPage = ^uint32(0)
 
+// noBlock is the nil link of the intrusive bucket lists.
+const noBlock = int32(-1)
+
 // ftl is a page-mapped flash translation layer. Physical pages are numbered
 // die-major: phys = (die*blocksPerDie + blockInDie)*pagesPerBlock + slot.
 // The FTL is pure bookkeeping — it reports the GC work (page moves, erases)
 // a call caused and the device converts that into die-timeline occupancy,
 // which lets the pre-conditioners reuse the same code without timing.
+//
+// Victim selection is O(1) amortized: every closed full block lives on an
+// intrusive doubly-linked list indexed by (die, valid count), so greedy GC
+// reads the lowest non-empty bucket instead of scanning the die. The lists
+// are maintained incrementally on invalidate/rotation/reclaim, and a lazy
+// per-die minimum hint makes the lowest-bucket query amortized constant
+// time (the hint only decreases when an insert lands below it).
 type ftl struct {
 	p            Params
 	blocksPerDie int
@@ -24,6 +34,32 @@ type ftl struct {
 	erases   []uint32 // per block: erase count
 
 	dies []dieState
+
+	// Valid-count buckets. bucketHead is indexed die*(ppb+1)+valid and
+	// holds the head block of that bucket's list (noBlock when empty);
+	// bNext/bPrev are the per-block intrusive links and inBucket the
+	// membership bit. A block is bucketed iff it is full (writePtr == ppb)
+	// and closed (neither the die's host open block nor its GC open block
+	// nor on the free list). minValid[die] is a lower bound on the die's
+	// lowest non-empty bucket, advanced lazily at query time.
+	bucketHead []int32
+	bNext      []int32
+	bPrev      []int32
+	inBucket   []bool
+	minValid   []int32
+
+	// dieVer counts mutations that can change a die's GC feasibility
+	// (free-pool size, bucket contents, GC open block slack). dieWritable
+	// memoizes its verdict against it, so a flush round re-derives
+	// feasibility only for dies whose state moved since the last batch.
+	dieVer      []uint32
+	writableVer []uint32 // dieVer+1 at memo time; 0 = no memo
+	writableOK  []bool
+
+	// slowVictim switches pickVictim to the retained O(blocksPerDie)
+	// reference scan; the differential tests drive both implementations
+	// through identical op sequences and assert identical states.
+	slowVictim bool
 
 	// Cumulative counters.
 	hostPages   uint64 // pages written by the host
@@ -75,12 +111,27 @@ func newFTL(p Params) *ftl {
 		writePtr:     make([]uint16, nblocks),
 		erases:       make([]uint32, nblocks),
 		dies:         make([]dieState, dies),
+		bucketHead:   make([]int32, dies*(p.PagesPerBlock+1)),
+		bNext:        make([]int32, nblocks),
+		bPrev:        make([]int32, nblocks),
+		inBucket:     make([]bool, nblocks),
+		minValid:     make([]int32, dies),
+		dieVer:       make([]uint32, dies),
+		writableVer:  make([]uint32, dies),
+		writableOK:   make([]bool, dies),
 	}
 	for i := range f.l2p {
 		f.l2p[i] = invalidPage
 	}
 	for i := range f.p2l {
 		f.p2l[i] = invalidPage
+	}
+	for i := range f.bucketHead {
+		f.bucketHead[i] = noBlock
+	}
+	for i := range f.bNext {
+		f.bNext[i] = noBlock
+		f.bPrev[i] = noBlock
 	}
 	for d := range f.dies {
 		ds := &f.dies[d]
@@ -92,6 +143,7 @@ func newFTL(p Params) *ftl {
 		for b := 2; b < bpd; b++ {
 			ds.free = append(ds.free, base+uint32(b))
 		}
+		f.minValid[d] = int32(f.ppb) // no bucketed blocks yet
 	}
 	return f
 }
@@ -110,6 +162,56 @@ func (f *ftl) channelOfDie(die int) int { return die % f.p.Channels }
 // lookup returns the physical page for a logical page, or invalidPage.
 func (f *ftl) lookup(logical uint32) uint32 { return f.l2p[logical] }
 
+// bucketAdd links a closed full block into its die's bucket for its current
+// valid count and lowers the die's minimum hint if it lands below it.
+func (f *ftl) bucketAdd(b uint32) {
+	v := int32(f.valid[b])
+	die := f.dieOfBlock(b)
+	idx := die*(f.ppb+1) + int(v)
+	h := f.bucketHead[idx]
+	f.bNext[b] = h
+	f.bPrev[b] = noBlock
+	if h != noBlock {
+		f.bPrev[h] = int32(b)
+	}
+	f.bucketHead[idx] = int32(b)
+	f.inBucket[b] = true
+	if v < f.minValid[die] {
+		f.minValid[die] = v
+	}
+}
+
+// bucketDel unlinks a block from the bucket matching its current valid
+// count. The minimum hint stays a valid lower bound and is advanced lazily.
+func (f *ftl) bucketDel(b uint32) {
+	idx := f.dieOfBlock(b)*(f.ppb+1) + int(f.valid[b])
+	if p := f.bPrev[b]; p != noBlock {
+		f.bNext[p] = f.bNext[b]
+	} else {
+		f.bucketHead[idx] = f.bNext[b]
+	}
+	if n := f.bNext[b]; n != noBlock {
+		f.bPrev[n] = f.bPrev[b]
+	}
+	f.inBucket[b] = false
+}
+
+// minValidOf returns the valid count of the die's best victim bucket,
+// advancing the lazy minimum hint, or false when no victim exists (a
+// completely valid block is useless to GC, so bucket ppb never qualifies).
+func (f *ftl) minValidOf(die int) (int32, bool) {
+	base := die * (f.ppb + 1)
+	v := f.minValid[die]
+	for int(v) < f.ppb && f.bucketHead[base+int(v)] == noBlock {
+		v++
+	}
+	f.minValid[die] = v
+	if int(v) >= f.ppb {
+		return 0, false
+	}
+	return v, true
+}
+
 // invalidate clears the current mapping of a logical page, if any.
 func (f *ftl) invalidate(logical uint32) {
 	old := f.l2p[logical]
@@ -118,8 +220,16 @@ func (f *ftl) invalidate(logical uint32) {
 	}
 	f.l2p[logical] = invalidPage
 	f.p2l[old] = invalidPage
-	f.valid[old/uint32(f.ppb)]--
+	blk := old / uint32(f.ppb)
+	if f.inBucket[blk] {
+		f.bucketDel(blk)
+		f.valid[blk]--
+		f.bucketAdd(blk)
+	} else {
+		f.valid[blk]--
+	}
 	f.mappedPages--
+	f.dieVer[f.dieOfBlock(blk)]++
 }
 
 // writePage maps a logical page to a freshly allocated physical page on
@@ -139,7 +249,9 @@ func (f *ftl) writePage(logical uint32, die int) (gcWork, error) {
 }
 
 // allocHost takes the next free slot in the die's host open block, rotating
-// to a fresh block (and possibly garbage-collecting) when it fills.
+// to a fresh block (and possibly garbage-collecting) when it fills. The
+// outgoing open block is closed and becomes a GC candidate the moment the
+// open pointer moves off it.
 func (f *ftl) allocHost(die int) (uint32, gcWork, error) {
 	var work gcWork
 	ds := &f.dies[die]
@@ -149,6 +261,7 @@ func (f *ftl) allocHost(die int) (uint32, gcWork, error) {
 		if err != nil {
 			return 0, work, err
 		}
+		f.bucketAdd(ds.open)
 		ds.open = blk
 	}
 	phys := ds.open*uint32(f.ppb) + uint32(f.writePtr[ds.open])
@@ -169,6 +282,7 @@ func (f *ftl) popFree(die int) (uint32, gcWork, error) {
 	}
 	blk := ds.free[len(ds.free)-1]
 	ds.free = ds.free[:len(ds.free)-1]
+	f.dieVer[die]++
 	return blk, work, nil
 }
 
@@ -194,10 +308,34 @@ func (f *ftl) collect(die int) gcWork {
 	return work
 }
 
-// pickVictim returns the full block with the fewest valid pages on the die,
-// excluding the open blocks. A completely valid victim is useless (GC would
-// tread water), so it also requires valid < pagesPerBlock.
+// pickVictim returns the closed full block with the fewest valid pages on
+// the die, breaking ties toward the lowest block id — exactly the choice
+// the reference scan makes. The bucket for the lazy minimum valid count
+// holds precisely the candidate set, so only that (typically tiny) list is
+// walked for the tie-break.
 func (f *ftl) pickVictim(die int) (uint32, bool) {
+	if f.slowVictim {
+		return f.pickVictimSlow(die)
+	}
+	v, ok := f.minValidOf(die)
+	if !ok {
+		return invalidPage, false
+	}
+	best := invalidPage
+	for b := f.bucketHead[die*(f.ppb+1)+int(v)]; b != noBlock; b = f.bNext[b] {
+		if uint32(b) < best {
+			best = uint32(b)
+		}
+	}
+	return best, best != invalidPage
+}
+
+// pickVictimSlow is the retained reference implementation: a linear scan of
+// the die for the full block with the fewest valid pages, excluding the
+// open blocks. A completely valid victim is useless (GC would tread water),
+// so it also requires valid < pagesPerBlock. The differential tests (and
+// checkInvariants) assert it always agrees with the bucketed fast path.
+func (f *ftl) pickVictimSlow(die int) (uint32, bool) {
 	ds := &f.dies[die]
 	base := uint32(die * f.blocksPerDie)
 	best := invalidPage
@@ -221,6 +359,7 @@ func (f *ftl) pickVictim(die int) (uint32, bool) {
 func (f *ftl) reclaim(die int, victim uint32) gcWork {
 	var work gcWork
 	ds := &f.dies[die]
+	f.bucketDel(victim)
 	start := victim * uint32(f.ppb)
 	for slot := uint32(0); slot < uint32(f.ppb); slot++ {
 		phys := start + slot
@@ -242,6 +381,7 @@ func (f *ftl) reclaim(die int, victim uint32) gcWork {
 	f.gcErases++
 	f.gcReclaims++
 	ds.free = append(ds.free, victim)
+	f.dieVer[die]++
 	work.erases++
 	return work
 }
@@ -250,18 +390,21 @@ func (f *ftl) reclaim(die int, victim uint32) gcWork {
 // the free list when the block fills (never recursing into GC). The free
 // list cannot be empty here: reclaim is only invoked while collecting, and
 // every reclaim returns its victim to the free list before the GC open
-// block can fill again.
+// block can fill again. The outgoing GC open block closes and becomes a
+// victim candidate like any other full block.
 func (f *ftl) allocGC(die int, work *gcWork) uint32 {
 	ds := &f.dies[die]
 	if f.writePtr[ds.gcOpen] == uint16(f.ppb) {
 		if len(ds.free) == 0 {
 			panic("ssd: GC starved of free blocks (feasibility guard bypassed)")
 		}
+		f.bucketAdd(ds.gcOpen)
 		ds.gcOpen = ds.free[len(ds.free)-1]
 		ds.free = ds.free[:len(ds.free)-1]
 	}
 	phys := ds.gcOpen*uint32(f.ppb) + uint32(f.writePtr[ds.gcOpen])
 	f.writePtr[ds.gcOpen]++
+	f.dieVer[die]++
 	return phys
 }
 
@@ -270,8 +413,21 @@ func (f *ftl) freeOf(die int) int { return len(f.dies[die].free) }
 
 // dieWritable reports whether the die can accept new host writes without
 // risking allocation starvation: either it has free headroom, or garbage
-// collection on it can still make progress.
+// collection on it can still make progress. The verdict is memoized
+// against the die's mutation version, so a flush round probing the same
+// stalled die repeatedly pays one derivation.
 func (f *ftl) dieWritable(die int) bool {
+	ver := f.dieVer[die] + 1
+	if f.writableVer[die] == ver {
+		return f.writableOK[die]
+	}
+	ok := f.dieWritableSlow(die)
+	f.writableVer[die] = ver
+	f.writableOK[die] = ok
+	return ok
+}
+
+func (f *ftl) dieWritableSlow(die int) bool {
 	ds := &f.dies[die]
 	if len(ds.free) > 2 {
 		return true
@@ -279,20 +435,55 @@ func (f *ftl) dieWritable(die int) bool {
 	if len(ds.free) == 0 {
 		return false
 	}
-	victim, ok := f.pickVictim(die)
+	v, ok := f.minValidOf(die)
 	if !ok {
 		return false
 	}
 	slack := int(uint16(f.ppb)-f.writePtr[ds.gcOpen]) + len(ds.free)*f.ppb
-	return slack >= int(f.valid[victim])
+	return slack >= int(v)
 }
 
 // trim invalidates a span of logical pages (the blobstore frees blobs with
-// it). It reports nothing to charge: trims are metadata-only.
+// it). It reports nothing to charge: trims are metadata-only. The span
+// walk batches the valid-count/bucket update per touched physical block:
+// sequentially written data — the blobstore's layout — invalidates whole
+// blocks with a single bucket move instead of one per page.
 func (f *ftl) trim(first, count uint32) {
+	curBlk := invalidPage
+	delta := uint16(0)
 	for i := uint32(0); i < count; i++ {
-		f.invalidate(first + i)
+		logical := first + i
+		old := f.l2p[logical]
+		if old == invalidPage {
+			continue
+		}
+		f.l2p[logical] = invalidPage
+		f.p2l[old] = invalidPage
+		f.mappedPages--
+		blk := old / uint32(f.ppb)
+		if blk != curBlk {
+			f.trimFlush(curBlk, delta)
+			curBlk, delta = blk, 0
+		}
+		delta++
 	}
+	f.trimFlush(curBlk, delta)
+}
+
+// trimFlush applies a batched valid-count decrement to one block, moving it
+// between buckets at most once.
+func (f *ftl) trimFlush(blk uint32, delta uint16) {
+	if blk == invalidPage || delta == 0 {
+		return
+	}
+	if f.inBucket[blk] {
+		f.bucketDel(blk)
+		f.valid[blk] -= delta
+		f.bucketAdd(blk)
+	} else {
+		f.valid[blk] -= delta
+	}
+	f.dieVer[f.dieOfBlock(blk)]++
 }
 
 // freeBlocks returns the total free blocks across dies (for tests/stats).
@@ -312,8 +503,8 @@ func (f *ftl) writeAmplification() float64 {
 	return float64(f.hostPages+f.gcMoved) / float64(f.hostPages)
 }
 
-// checkInvariants validates the mapping bidirectionality and valid counts;
-// used by property tests. It is O(pages).
+// checkInvariants validates the mapping bidirectionality, valid counts, and
+// bucket-list structure; used by property tests. It is O(pages).
 func (f *ftl) checkInvariants() error {
 	validCount := make([]uint16, len(f.valid))
 	mapped := uint64(0)
@@ -342,6 +533,71 @@ func (f *ftl) checkInvariants() error {
 	}
 	if mapped != f.mappedPages {
 		return fmt.Errorf("ftl: mappedPages %d, recount %d", f.mappedPages, mapped)
+	}
+	return f.checkBuckets()
+}
+
+// checkBuckets cross-checks bucket membership against valid[] and the
+// closed-full-block predicate, verifies list linkage, the lazy minimum
+// hints, and fast/slow victim agreement on every die.
+func (f *ftl) checkBuckets() error {
+	isFree := make(map[uint32]bool)
+	for d := range f.dies {
+		for _, b := range f.dies[d].free {
+			isFree[b] = true
+		}
+	}
+	seen := make([]bool, len(f.valid))
+	for d := range f.dies {
+		base := d * (f.ppb + 1)
+		for v := 0; v <= f.ppb; v++ {
+			prev := noBlock
+			for b := f.bucketHead[base+v]; b != noBlock; b = f.bNext[b] {
+				blk := uint32(b)
+				if seen[b] {
+					return fmt.Errorf("ftl: block %d linked into two buckets", b)
+				}
+				seen[b] = true
+				if !f.inBucket[b] {
+					return fmt.Errorf("ftl: block %d linked but not marked inBucket", b)
+				}
+				if int(f.valid[blk]) != v {
+					return fmt.Errorf("ftl: block %d in bucket %d but valid %d", b, v, f.valid[blk])
+				}
+				if f.dieOfBlock(blk) != d {
+					return fmt.Errorf("ftl: block %d bucketed on die %d", b, d)
+				}
+				if f.bPrev[b] != prev {
+					return fmt.Errorf("ftl: block %d prev link %d, want %d", b, f.bPrev[b], prev)
+				}
+				prev = int32(b)
+			}
+			if v < int(f.minValid[d]) && f.bucketHead[base+v] != noBlock {
+				return fmt.Errorf("ftl: die %d min hint %d above non-empty bucket %d", d, f.minValid[d], v)
+			}
+		}
+	}
+	for b := range f.valid {
+		blk := uint32(b)
+		ds := &f.dies[f.dieOfBlock(blk)]
+		want := f.writePtr[b] == uint16(f.ppb) && blk != ds.open && blk != ds.gcOpen && !isFree[blk]
+		if want != f.inBucket[b] {
+			return fmt.Errorf("ftl: block %d bucket membership %v, want %v (writePtr %d, valid %d)",
+				b, f.inBucket[b], want, f.writePtr[b], f.valid[b])
+		}
+		if f.inBucket[b] != seen[b] {
+			return fmt.Errorf("ftl: block %d inBucket flag %v but linked %v", b, f.inBucket[b], seen[b])
+		}
+	}
+	if !f.slowVictim {
+		for d := range f.dies {
+			fastB, fastOK := f.pickVictim(d)
+			slowB, slowOK := f.pickVictimSlow(d)
+			if fastB != slowB || fastOK != slowOK {
+				return fmt.Errorf("ftl: die %d victim fast (%d,%v) != slow (%d,%v)",
+					d, fastB, fastOK, slowB, slowOK)
+			}
+		}
 	}
 	return nil
 }

@@ -34,7 +34,7 @@ func (s *SSD) AttachObs(reg *obs.Registry, ssdIdx int) {
 	reg.GaugeFunc("ssd_erases", lb, func() float64 { return float64(s.ftl.gcErases) })
 	reg.GaugeFunc("ssd_free_blocks", lb, func() float64 { return float64(s.ftl.freeBlocks()) })
 	reg.GaugeFunc("ssd_buf_occupancy_bytes", lb, func() float64 { return float64(s.bufOccupancy) })
-	reg.GaugeFunc("ssd_queued_host_cmds", lb, func() float64 { return float64(len(s.waitQ)) })
+	reg.GaugeFunc("ssd_queued_host_cmds", lb, func() float64 { return float64(len(s.waitQ) - s.waitHead) })
 	reg.GaugeFunc("ssd_read_bytes_total", lb, func() float64 { return float64(s.stats.ReadBytes) })
 	reg.GaugeFunc("ssd_write_bytes_total", lb, func() float64 { return float64(s.stats.WriteBytes) })
 	reg.GaugeFunc("ssd_read_ops_total", lb, func() float64 { return float64(s.stats.ReadOps) })

@@ -36,8 +36,18 @@ func (c Condition) String() string {
 // the FTL write path directly (no timing), exactly as hours of fio
 // pre-conditioning would, then clears timelines, buffer, and counters so
 // experiments start from a quiescent device. The rng drives the random
-// overwrite pass for the fragmented state.
+// overwrite pass for the fragmented state. The resulting state is memoized
+// per (params, condition, rng state) — see snapshot.go — so a sweep that
+// pre-conditions many identical devices pays for the fill once.
 func (s *SSD) Precondition(c Condition, rng *sim.RNG) {
+	if c == Fresh {
+		return
+	}
+	s.preconditionCached(c, rng)
+}
+
+// preconditionUncached always runs the full fill/overwrite pass.
+func (s *SSD) preconditionUncached(c Condition, rng *sim.RNG) {
 	if c == Fresh {
 		return
 	}
@@ -97,7 +107,9 @@ func (s *SSD) resetAfterPrecondition() {
 		s.lastRow[i] = ^uint32(0) >> 1
 	}
 	s.bufOccupancy = 0
-	s.bufPages = map[uint32]int{}
+	s.buf.reset()
+	s.flushPending = s.flushPending[:0]
+	s.flushHead = 0
 	s.lastFlushEnd = 0
 	s.stats = Stats{}
 	// Reset cumulative FTL counters so measured write amplification

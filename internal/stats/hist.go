@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -43,19 +44,13 @@ func bucketIndex(v int64) int {
 		return int(v)
 	}
 	// Position of the highest set bit beyond the sub-bucket resolution.
-	exp := 63 - subBucketBits
 	u := uint64(v)
-	lz := 0
-	for u>>(63-lz) == 0 {
-		lz++
-	}
-	msb := 63 - lz
+	msb := 63 - bits.LeadingZeros64(u)
 	shift := msb - subBucketBits
 	idx := (shift+1)*subBuckets + int((u>>shift)&(subBuckets-1))
 	if idx >= histBuckets {
 		idx = histBuckets - 1
 	}
-	_ = exp
 	return idx
 }
 

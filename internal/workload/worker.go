@@ -79,8 +79,14 @@ type Worker struct {
 	// OnDone, if set, observes every completion (harness time series).
 	OnDone func(io *nvme.IO, cpl nvme.Completion)
 
-	// submitFn is the cached trySubmit closure for rate-cap deferrals.
+	// submitFn and onDoneFn are cached once so the steady-state submit
+	// loop never rebuilds a closure or method value.
 	submitFn func()
+	onDoneFn func(io *nvme.IO, cpl nvme.Completion)
+
+	// ioFree recycles completed IO structs: a closed-loop worker has at
+	// most QD outstanding, so after warmup every submission reuses one.
+	ioFree []*nvme.IO
 }
 
 // NewWorker builds a worker. Span must be a positive multiple of IOSize if
@@ -97,6 +103,7 @@ func NewWorker(loop *sim.Loop, rng *sim.RNG, p Profile, tenant *nvme.Tenant, tar
 		Meter:    stats.NewMeter(loop.Now()),
 	}
 	w.submitFn = w.trySubmit
+	w.onDoneFn = w.onDone
 	return w
 }
 
@@ -165,15 +172,21 @@ func (w *Worker) trySubmit() {
 		slots := w.p.Span / int64(w.p.IOSize)
 		off = w.p.Base + w.rng.Int63n(slots)*int64(w.p.IOSize)
 	}
-	io := &nvme.IO{
-		Op:       op,
-		Offset:   off,
-		Size:     w.p.IOSize,
-		Priority: w.p.Priority,
-		Tenant:   w.tenant,
-		Arrival:  now,
-		Done:     w.onDone,
+	var io *nvme.IO
+	if n := len(w.ioFree); n > 0 {
+		io = w.ioFree[n-1]
+		w.ioFree = w.ioFree[:n-1]
+		*io = nvme.IO{}
+	} else {
+		io = &nvme.IO{}
 	}
+	io.Op = op
+	io.Offset = off
+	io.Size = w.p.IOSize
+	io.Priority = w.p.Priority
+	io.Tenant = w.tenant
+	io.Arrival = now
+	io.Done = w.onDoneFn
 	w.inflight++
 	w.target.Submit(io)
 }
@@ -204,6 +217,11 @@ func (w *Worker) onDone(io *nvme.IO, cpl nvme.Completion) {
 	if w.OnDone != nil {
 		w.OnDone(io, cpl)
 	}
+	// The IO is dead once every completion observer has run: no layer
+	// retains it past Done (queues drop entries on dispatch, the submitter
+	// owns the embedded request only until reqDone), so the next
+	// submission can reuse it.
+	w.ioFree = append(w.ioFree, io)
 	w.trySubmit()
 }
 

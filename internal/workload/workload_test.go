@@ -8,15 +8,17 @@ import (
 	"gimbal/internal/sim"
 )
 
-// echoTarget completes IOs after a fixed delay.
+// echoTarget completes IOs after a fixed delay. It records submissions by
+// value: the worker recycles IO structs after completion, so retained
+// pointers would all alias the most recent submission.
 type echoTarget struct {
 	loop  *sim.Loop
 	delay int64
-	seen  []*nvme.IO
+	seen  []nvme.IO
 }
 
 func (e *echoTarget) Submit(io *nvme.IO) {
-	e.seen = append(e.seen, io)
+	e.seen = append(e.seen, *io)
 	e.loop.After(e.delay, func() {
 		io.Done(io, nvme.Completion{Status: nvme.StatusOK})
 	})
