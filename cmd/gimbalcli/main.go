@@ -9,9 +9,15 @@
 // The stats subcommand renders the daemon's observability endpoint: it
 // samples /stats twice and reports per-tenant interval bandwidth, credit,
 // and the per-SSD control-loop state (write cost, target rate, latency
-// EWMAs).
+// EWMAs). -tenant narrows the per-tenant rows to one name.
 //
-//	gimbalcli stats -admin 127.0.0.1:9420 -interval 1s
+//	gimbalcli stats -admin 127.0.0.1:9420 -interval 1s [-tenant t0]
+//
+// The top subcommand is the live view: it polls /stats and /slo together
+// and redraws a combined per-tenant table (interval bandwidth, credit,
+// SLO attainment, burn rate) every interval until interrupted.
+//
+//	gimbalcli top -admin 127.0.0.1:9420 -interval 1s [-n 10]
 package main
 
 import (
@@ -28,12 +34,17 @@ import (
 
 	"gimbal/internal/fabric"
 	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
 	"gimbal/internal/stats"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stats" {
 		statsMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		topMain(os.Args[2:])
 		return
 	}
 	var (
@@ -149,6 +160,7 @@ func statsMain(args []string) {
 	var (
 		admin    = fs.String("admin", "127.0.0.1:9420", "gimbald observability address")
 		interval = fs.Duration("interval", time.Second, "bandwidth sampling interval")
+		tenant   = fs.String("tenant", "", "show only this tenant's rows")
 	)
 	fs.Parse(args)
 	url := "http://" + *admin + "/stats"
@@ -194,17 +206,146 @@ func statsMain(args []string) {
 			fmt.Printf(" WA=%.2f gc_pages=%d", s.Device.WriteAmp, s.Device.GCMovedPages)
 		}
 		fmt.Println()
-		if len(s.Tenants) == 0 {
+		rows := s.Tenants
+		if *tenant != "" {
+			rows = rows[:0:0]
+			for _, t := range s.Tenants {
+				if t.Tenant == *tenant {
+					rows = append(rows, t)
+				}
+			}
+		}
+		if len(rows) == 0 {
 			continue
 		}
 		fmt.Printf("  %-18s %10s %10s %8s %8s %8s\n",
 			"tenant", "MB/s", "IOPS", "credit", "f-util", "errors")
-		for _, t := range s.Tenants {
+		for _, t := range rows {
 			k := key{t.SSD, t.Tenant}
 			dBytes := float64(t.Bytes - prevBytes[k])
 			dOps := float64(t.Ops - prevOps[k])
 			fmt.Printf("  %-18s %10.1f %10.0f %8d %8.2f %8d\n",
 				t.Tenant, dBytes/1e6/dt, dOps/dt, t.Credit, t.FUtil, t.Errors)
 		}
+	}
+}
+
+// fetchSLO GETs and decodes one /slo report. A daemon running without the
+// SLO engine serves "{}", which decodes to an empty report.
+func fetchSLO(url string) (*obs.SLOReport, error) {
+	rsp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, rsp.Status)
+	}
+	var rep obs.SLOReport
+	if err := json.NewDecoder(rsp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// topMain implements `gimbalcli top`: a live per-tenant view joining
+// /stats (interval bandwidth, credit) with /slo (attainment, burn rate,
+// correlated events), redrawn every interval.
+func topMain(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	var (
+		admin    = fs.String("admin", "127.0.0.1:9420", "gimbald observability address")
+		interval = fs.Duration("interval", time.Second, "refresh interval")
+		n        = fs.Int("n", 0, "iterations before exiting (0 = until interrupted)")
+		tenant   = fs.String("tenant", "", "show only this tenant's rows")
+	)
+	fs.Parse(args)
+	statsURL := "http://" + *admin + "/stats"
+	sloURL := "http://" + *admin + "/slo"
+
+	type key struct {
+		ssd    int
+		tenant string
+	}
+	var prev *fabric.TargetStats
+	for i := 0; *n == 0 || i < *n; i++ {
+		if prev != nil {
+			time.Sleep(*interval)
+		}
+		cur, err := fetchStats(statsURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slo, err := fetchSLO(sloURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if prev == nil {
+			// The first sample only anchors the interval rates.
+			prev = cur
+			time.Sleep(*interval)
+			cur, err = fetchStats(statsURL)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if slo, err = fetchSLO(sloURL); err != nil {
+				log.Fatal(err)
+			}
+		}
+		prevBytes := map[key]int64{}
+		prevOps := map[key]int64{}
+		for _, s := range prev.SSDs {
+			for _, t := range s.Tenants {
+				prevBytes[key{t.SSD, t.Tenant}] = t.Bytes
+				prevOps[key{t.SSD, t.Tenant}] = t.Ops
+			}
+		}
+		dt := float64(cur.NowNs-prev.NowNs) / 1e9
+		if dt <= 0 {
+			dt = interval.Seconds()
+		}
+		sloRows := map[string]obs.SLOTenantReport{}
+		for _, tr := range slo.Tenants {
+			sloRows[tr.Tenant] = tr
+		}
+
+		fmt.Print("\033[H\033[2J") // clear, cursor home
+		fmt.Printf("gimbal top — scheme=%s ssds=%d jain=%.3f interval=%.1fs\n",
+			cur.Scheme, len(cur.SSDs), cur.Jain, dt)
+		fmt.Printf("%-18s %4s %10s %10s %8s %8s %8s %8s\n",
+			"tenant", "ssd", "MB/s", "IOPS", "credit", "met%", "burn", "errors")
+		for _, s := range cur.SSDs {
+			for _, t := range s.Tenants {
+				if *tenant != "" && t.Tenant != *tenant {
+					continue
+				}
+				k := key{t.SSD, t.Tenant}
+				met, burn := 100.0, 0.0
+				if tr, ok := sloRows[t.Tenant]; ok {
+					met = tr.MetFraction * 100
+					// The longest window's burn is the most stable signal.
+					if len(tr.Windows) > 0 {
+						burn = tr.Windows[len(tr.Windows)-1].BurnRate
+					}
+				}
+				fmt.Printf("%-18s %4d %10.1f %10.0f %8d %8.2f %8.2f %8d\n",
+					t.Tenant, t.SSD,
+					float64(t.Bytes-prevBytes[k])/1e6/dt,
+					float64(t.Ops-prevOps[k])/dt,
+					t.Credit, met, burn, t.Errors)
+			}
+		}
+		active := 0
+		for _, ev := range slo.Events {
+			if ev.Active {
+				active++
+			}
+		}
+		if len(slo.Events) > 0 {
+			last := slo.Events[len(slo.Events)-1]
+			fmt.Printf("events: %d correlated (%d active), last: %s %s\n",
+				len(slo.Events), active, last.Kind, last.Detail)
+		}
+		prev = cur
 	}
 }

@@ -10,10 +10,17 @@
 //
 //	/metrics        Prometheus text format (control loop, SSD, fabric)
 //	/stats          JSON snapshot: per-tenant bandwidth, credits, write cost
-//	/trace          per-IO lifecycle traces (queue/pacing/device spans), JSONL
+//	/trace          captured per-IO lifecycle spans, JSONL; filter with
+//	                ?tenant= ?phase= ?n=
+//	/slo            per-tenant SLO attainment, burn rates, correlated events
 //	/debug/pprof/   the standard Go profiler
 //
-// Drive it with cmd/gimbalcli; `gimbalcli stats` renders /stats.
+// Span capture policy is -trace-mode: "sampled" (default) captures every
+// IO slower than -trace-slow plus every -trace-nth IO; "full" captures all.
+// The SLO engine is armed with -slo-target/-slo-goal.
+//
+// Drive it with cmd/gimbalcli; `gimbalcli stats` renders /stats and
+// `gimbalcli top` joins /stats with /slo in a live view.
 //
 // A scripted SSD fault schedule can be armed at startup with -faults; see
 // loadFaultPlan for the JSON shape. -recovery (default on) enables the
@@ -44,16 +51,21 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:4420", "listen address")
-		admin    = flag.String("admin", "127.0.0.1:9420", "observability endpoint address (empty disables)")
-		ssds     = flag.Int("ssds", 4, "number of simulated SSDs")
-		scheme   = flag.String("scheme", "gimbal", "scheduler: gimbal|vanilla|reflex|flashfq|parda")
-		cond     = flag.String("cond", "clean", "precondition: fresh|clean|fragmented")
-		capacity = flag.Int64("capacity", 2<<30, "per-SSD usable bytes")
-		traceCap = flag.Int("trace", 8192, "per-IO trace ring capacity (0 disables tracing)")
-		drain    = flag.Duration("drain", 3*time.Second, "graceful shutdown drain timeout")
-		faults   = flag.String("faults", "", "JSON fault plan armed at startup (SSD faults only)")
-		recovery = flag.Bool("recovery", true, "enable fail-fast + graceful degradation on the gimbal scheme")
+		listen    = flag.String("listen", "127.0.0.1:4420", "listen address")
+		admin     = flag.String("admin", "127.0.0.1:9420", "observability endpoint address (empty disables)")
+		ssds      = flag.Int("ssds", 4, "number of simulated SSDs")
+		scheme    = flag.String("scheme", "gimbal", "scheduler: gimbal|vanilla|reflex|flashfq|parda")
+		cond      = flag.String("cond", "clean", "precondition: fresh|clean|fragmented")
+		capacity  = flag.Int64("capacity", 2<<30, "per-SSD usable bytes")
+		traceCap  = flag.Int("trace", 8192, "per-IO trace ring capacity (0 disables tracing)")
+		traceMode = flag.String("trace-mode", "sampled", "span capture policy: off|sampled|full (sampled = every slow IO + 1/N of the rest)")
+		traceSlow = flag.Duration("trace-slow", time.Millisecond, "sampled mode: always capture IOs at least this slow")
+		traceNth  = flag.Int("trace-nth", 64, "sampled mode: capture every Nth IO regardless of latency")
+		sloTarget = flag.Duration("slo-target", 0, "per-tenant latency objective (0 disables the SLO engine)")
+		sloGoal   = flag.Float64("slo-goal", 0.999, "fraction of IOs that must meet the latency objective")
+		drain     = flag.Duration("drain", 3*time.Second, "graceful shutdown drain timeout")
+		faults    = flag.String("faults", "", "JSON fault plan armed at startup (SSD faults only)")
+		recovery  = flag.Bool("recovery", true, "enable fail-fast + graceful degradation on the gimbal scheme")
 	)
 	flag.Parse()
 
@@ -97,6 +109,32 @@ func main() {
 			}
 		}
 	}
+	// Telemetry: registry gathered under the scheduler lock, the span
+	// tracer, the per-tenant SLO engine, and the shared event log the
+	// fault engine and the switch's recovery transitions both feed.
+	mode, err := obs.ParseTraceMode(*traceMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.GatherLock = rs
+	hub := obs.NewHub(reg)
+	if *traceCap > 0 && mode != obs.TraceOff {
+		hub.Tracer = obs.NewTracer(obs.TracerConfig{
+			Capacity:    *traceCap,
+			Mode:        mode,
+			SlowNs:      int64(*traceSlow),
+			SampleEvery: *traceNth,
+		})
+	}
+	hub.Events = obs.NewEventLog(1024)
+	if *sloTarget > 0 {
+		hub.SLO = obs.NewSLOEngine(obs.SLOConfig{
+			Default: obs.SLO{LatencyTargetNs: int64(*sloTarget), LatencyGoal: *sloGoal},
+		})
+		hub.SLO.SetEventLog(hub.Events)
+	}
+
 	if *faults != "" {
 		plan, err := loadFaultPlan(*faults)
 		if err != nil {
@@ -106,23 +144,19 @@ func main() {
 		eng.Stall = func(ssdIdx, die int, dur int64) error {
 			return ssdModels[ssdIdx].InjectDieStall(die, dur)
 		}
+		eng.OnEvent = func(ev fault.Event, active bool) {
+			hub.Events.Append(rs.Now(), ev.Kind.String(), fmt.Sprintf("ssd=%d", ev.SSD), active)
+		}
 		if err := eng.Arm(plan); err != nil {
 			log.Fatalf("fault plan: %v", err)
 		}
 		log.Printf("armed %d fault events from %s", eng.Armed, *faults)
 	}
 
-	// Telemetry: registry gathered under the scheduler lock, plus the
-	// per-IO lifecycle trace ring.
-	reg := obs.NewRegistry()
-	reg.GatherLock = rs
-	var ring *obs.TraceRing
-	if *traceCap > 0 {
-		ring = obs.NewTraceRing(*traceCap)
-	}
 	rs.Lock()
-	target.AttachObs(reg, ring)
+	target.AttachObs(hub)
 	rs.Unlock()
+	ring := hub.Ring()
 
 	srv, err := fabric.ServeTCP(rs, target, *listen)
 	if err != nil {
@@ -132,7 +166,7 @@ func main() {
 
 	var adminSrv *http.Server
 	if *admin != "" {
-		mux := fabric.AdminMux(rs, target, reg, ring)
+		mux := fabric.AdminMux(rs, target, hub)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -149,7 +183,7 @@ func main() {
 	fmt.Printf("gimbald: %d x %s SSDs (%s) behind %q scheme, listening on %s\n",
 		*ssds, condition, byteSize(*capacity), sch, srv.Addr())
 	if *admin != "" {
-		fmt.Printf("gimbald: observability on http://%s (/metrics /stats /trace /debug/pprof)\n", *admin)
+		fmt.Printf("gimbald: observability on http://%s (/metrics /stats /trace /slo /debug/pprof)\n", *admin)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -37,6 +37,13 @@ type FioConfig struct {
 	// Retry, when set, arms every session with the policy (initiator-side
 	// deadlines + reissue).
 	Retry *fabric.RetryPolicy
+	// Trace, when set, attaches a span tracer with this config (per-IO
+	// lifecycle capture; attribution experiments use Full mode).
+	Trace *obs.TracerConfig
+	// SLO, when set, attaches an SLO engine tracking every tenant against
+	// this default objective over SLOWindows (nil → obs.DefaultSLOWindows).
+	SLO        *obs.SLO
+	SLOWindows []int64
 }
 
 // Spec is one worker stream.
@@ -62,6 +69,9 @@ type FioRun struct {
 	// Reg is the run's metrics registry (attached before any tenant
 	// registers, so per-tenant instruments cover the whole run).
 	Reg *obs.Registry
+	// Hub bundles Reg with the optional tracer, SLO engine, and event log
+	// (populated per FioConfig.Trace / FioConfig.SLO).
+	Hub *obs.Hub
 	// Wraps and Engine exist when a fault plan is armed.
 	Wraps  []*fault.Device
 	Engine *fault.Engine
@@ -111,7 +121,16 @@ func NewFioRun(cfg FioConfig) *FioRun {
 
 	r := &FioRun{Loop: loop, Target: target, Devices: ssds, Reg: obs.NewRegistry(),
 		Wraps: wraps, retry: cfg.Retry, seed: seed}
-	target.AttachObs(r.Reg, nil)
+	r.Hub = obs.NewHub(r.Reg)
+	if cfg.Trace != nil {
+		r.Hub.Tracer = obs.NewTracer(*cfg.Trace)
+	}
+	if cfg.SLO != nil {
+		r.Hub.Events = obs.NewEventLog(1024)
+		r.Hub.SLO = obs.NewSLOEngine(obs.SLOConfig{Default: *cfg.SLO, WindowsNs: cfg.SLOWindows})
+		r.Hub.SLO.SetEventLog(r.Hub.Events)
+	}
+	target.AttachObs(r.Hub)
 	for i, spec := range cfg.Specs {
 		r.AddWorker(spec, rng.Fork(), fmt.Sprintf("%s-%d", spec.Name, i))
 	}
@@ -121,6 +140,11 @@ func NewFioRun(cfg FioConfig) *FioRun {
 			return ssds[ssdIdx].InjectDieStall(die, dur)
 		}
 		e.Fabric = func(ev fault.Event, active bool) { r.applyFabricFault(ev, active) }
+		if r.Hub.Events != nil {
+			e.OnEvent = func(ev fault.Event, active bool) {
+				r.Hub.Events.Append(loop.Now(), ev.Kind.String(), fmt.Sprintf("ssd=%d", ev.SSD), active)
+			}
+		}
 		if err := e.Arm(cfg.Faults); err != nil {
 			panic(err) // chaos plans are code, not input
 		}
@@ -227,6 +251,10 @@ func (c *Ctx) Execute(cfg FioConfig) *FioRun {
 	r.Loop.RunUntil(start + cfg.Warm)
 	for _, w := range r.Workers {
 		w.ResetStats()
+	}
+	if r.Hub.SLO != nil {
+		// The objective judges the measured window only, not warmup.
+		r.Hub.SLO.Reset(r.Loop.Now())
 	}
 	r.Loop.RunUntil(stop)
 	r.Loop.Run() // drain in-flight completions (daemon timers don't hold it)

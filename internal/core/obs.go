@@ -33,21 +33,33 @@ type switchObs struct {
 	readState  latmon.State
 	writeState latmon.State
 
-	// Span histograms (ns).
+	// Span histograms (ns), one per pipeline phase.
 	queueDelay  *stats.Histogram
+	vslotWait   *stats.Histogram
 	pacingStall *stats.Histogram
 	readDevLat  *stats.Histogram
 	writeDevLat *stats.Histogram
+	gcStall     *stats.Histogram
 
-	ring *obs.TraceRing
-	ssd  int
+	// Exemplars chain the device-latency quantiles to captured spans.
+	readDevEx  *obs.ExemplarSlot
+	writeDevEx *obs.ExemplarSlot
+
+	tracer *obs.Tracer
+	events *obs.EventLog
+	ssd    int
+	ssdTag string // preformatted "ssd=<n>" event detail
 }
 
-// AttachObs registers the switch's instruments into reg under an ssd label
-// and starts feeding them; ring, when non-nil, receives a per-IO lifecycle
-// trace (arrival → admit → submit → device done → completion sent). Call
-// once, before traffic, from scheduler context.
-func (sw *Switch) AttachObs(reg *obs.Registry, ring *obs.TraceRing, ssdIdx int) {
+// AttachObs registers the switch's instruments into the hub's registry
+// under an ssd label and starts feeding them. When the hub carries a
+// tracer, every completion is offered as a per-IO lifecycle span (origin →
+// arrival → admit → submit → device done → completion sent, plus the
+// vslot- and GC-attributed waits); when it carries an event log, degrade
+// and fail-fast transitions are appended for SLO correlation. Call once,
+// before traffic, from scheduler context.
+func (sw *Switch) AttachObs(h *obs.Hub, ssdIdx int) {
+	reg := h.Reg
 	lb := obs.L("ssd", strconv.Itoa(ssdIdx))
 	o := &switchObs{
 		pacingStalls:    reg.Counter("gimbal_pacing_stalls_total", lb),
@@ -61,13 +73,21 @@ func (sw *Switch) AttachObs(reg *obs.Registry, ring *obs.TraceRing, ssdIdx int) 
 		degradeExits:    reg.Counter("gimbal_degrade_exits_total", lb),
 		tenantTeardowns: reg.Counter("gimbal_tenant_teardowns_total", lb),
 		queueDelay:      reg.Histogram("gimbal_queue_delay_ns", lb),
+		vslotWait:       reg.Histogram("gimbal_vslot_wait_ns", lb),
 		pacingStall:     reg.Histogram("gimbal_pacing_stall_ns", lb),
 		readDevLat:      reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read")),
 		writeDevLat:     reg.Histogram("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "write")),
-		ring:            ring,
+		gcStall:         reg.Histogram("gimbal_gc_stall_ns", lb),
+		tracer:          h.Tracer,
+		events:          h.Events,
 		ssd:             ssdIdx,
+		ssdTag:          "ssd=" + strconv.Itoa(ssdIdx),
 		readState:       latmon.Underutilized,
 		writeState:      latmon.Underutilized,
+	}
+	if h.Tracer != nil {
+		o.readDevEx = reg.ExemplarSlot("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read"))
+		o.writeDevEx = reg.ExemplarSlot("gimbal_device_latency_ns", obs.L("ssd", strconv.Itoa(ssdIdx), "op", "write"))
 	}
 	for st := latmon.Underutilized; st <= latmon.Overloaded; st++ {
 		rl := obs.L("ssd", strconv.Itoa(ssdIdx), "op", "read", "state", st.String())
@@ -85,9 +105,11 @@ func (sw *Switch) AttachObs(reg *obs.Registry, ring *obs.TraceRing, ssdIdx int) 
 	reg.Help("gimbal_degrade_exits_total", "times graceful degradation released")
 	reg.Help("gimbal_tenant_teardowns_total", "tenant sessions torn down with state reclaim")
 	reg.Help("gimbal_congestion_transitions_total", "latency-monitor congestion state changes")
-	reg.Help("gimbal_device_latency_ns", "raw device service time")
-	reg.Help("gimbal_queue_delay_ns", "scheduler queueing delay (arrival to DRR admit)")
+	reg.Help("gimbal_device_latency_ns", "device service time net of GC-attributed stall")
+	reg.Help("gimbal_queue_delay_ns", "scheduler queueing delay (arrival to DRR admit, net of vslot wait)")
+	reg.Help("gimbal_vslot_wait_ns", "time queued with every virtual slot closed (congestion clamp)")
 	reg.Help("gimbal_pacing_stall_ns", "token pacing delay (DRR admit to device submit)")
+	reg.Help("gimbal_gc_stall_ns", "device-side wait attributed to garbage collection")
 
 	reg.GaugeFunc("gimbal_submits_total", lb, func() float64 { return float64(sw.Submits()) })
 	reg.GaugeFunc("gimbal_completions_total", lb, func() float64 { return float64(sw.Completions()) })
@@ -114,6 +136,13 @@ func (sw *Switch) AttachObs(reg *obs.Registry, ring *obs.TraceRing, ssdIdx int) 
 	sw.obs = o
 }
 
+// event appends one recovery-state transition to the shared event log.
+func (o *switchObs) event(at int64, kind string, active bool) {
+	if o.events != nil {
+		o.events.Append(at, kind, o.ssdTag, active)
+	}
+}
+
 // onState counts congestion-state transitions per IO class.
 func (o *switchObs) onState(isWrite bool, st latmon.State) {
 	if isWrite {
@@ -129,35 +158,59 @@ func (o *switchObs) onState(isWrite bool, st latmon.State) {
 	}
 }
 
-// onComplete records the span histograms and the lifecycle trace for one
-// finished IO; doneAt is when the completion left the switch.
+// onComplete records the span histograms and offers the lifecycle trace
+// for one finished IO; doneAt is when the completion left the switch.
+// Everything here is allocation-free: histogram records are array
+// updates, the trace travels by value, and the exemplar slot is a
+// mutex-guarded value.
 func (o *switchObs) onComplete(io *nvme.IO, doneAt int64) {
 	admit := io.Admit
 	if admit == 0 {
 		admit = io.DevSubmit
 	}
-	o.queueDelay.Record(admit - io.Arrival)
-	o.pacingStall.Record(io.DevSubmit - admit)
-	if io.Op.IsWrite() {
-		o.writeDevLat.Record(io.DeviceLatency())
-	} else {
-		o.readDevLat.Record(io.DeviceLatency())
+	queue := admit - io.Arrival - io.VslotWait
+	if queue < 0 {
+		queue = 0
 	}
-	if o.ring != nil {
+	o.queueDelay.Record(queue)
+	o.vslotWait.Record(io.VslotWait)
+	o.pacingStall.Record(io.DevSubmit - admit)
+	o.gcStall.Record(io.GCWait)
+	devLat := io.DeviceLatency() - io.GCWait
+	if devLat < 0 {
+		devLat = 0
+	}
+	isWrite := io.Op.IsWrite()
+	if isWrite {
+		o.writeDevLat.Record(devLat)
+	} else {
+		o.readDevLat.Record(devLat)
+	}
+	if o.tracer.Sample(doneAt - io.Arrival) {
 		name := ""
 		if io.Tenant != nil {
 			name = io.Tenant.Name
 		}
-		o.ring.Append(obs.IOTrace{
+		span := o.tracer.Capture(obs.IOTrace{
 			SSD:     o.ssd,
 			Tenant:  name,
 			Op:      io.Op.String(),
 			Size:    io.Size,
+			Origin:  io.Origin,
 			Arrival: io.Arrival,
 			Admit:   admit,
 			Submit:  io.DevSubmit,
 			DevDone: io.DevDone,
 			Done:    doneAt,
+			VslotNs: io.VslotWait,
+			GCNs:    io.GCWait,
 		})
+		slot := o.readDevEx
+		if isWrite {
+			slot = o.writeDevEx
+		}
+		if slot != nil {
+			slot.Set(obs.Exemplar{Value: float64(devLat), Span: span, Tenant: name, At: doneAt})
+		}
 	}
 }

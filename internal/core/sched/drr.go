@@ -83,6 +83,13 @@ type tenant struct {
 
 	where listKind
 
+	// Virtual-slot wait accounting (phase attribution): deferStart stamps
+	// when the tenant last entered the deferred list; deferAccum is the
+	// monotone total time spent deferred. An IO's vslot wait is the
+	// deferAccum delta between its Enqueue and Commit.
+	deferStart int64
+	deferAccum int64
+
 	// Intrusive active-list links: membership costs no allocation, unlike
 	// a container/list element per activation.
 	next, prev *tenant
@@ -191,6 +198,11 @@ type DRR struct {
 	// all mirrors the tenants map as a slice so redistribute — which runs
 	// on every contend/release — avoids map iteration.
 	all []*tenant
+
+	// now, when set via SetClock, timestamps deferred-list residency so
+	// IOs carry their virtual-slot wait (nvme.IO.VslotWait). Nil disables
+	// the accounting (standalone scheduler tests).
+	now func() int64
 }
 
 // New returns a DRR scheduler. weighted computes the cost-weighted size of
@@ -202,6 +214,10 @@ func New(cfg Config, weighted func(io *nvme.IO) int64) *DRR {
 		tenants:  make(map[*nvme.Tenant]*tenant),
 	}
 }
+
+// SetClock attaches the scheduler clock used to attribute deferred-list
+// residency to IOs (phase tracing). Call before traffic.
+func (d *DRR) SetClock(now func() int64) { d.now = now }
 
 // Register adds a tenant.
 func (d *DRR) Register(t *nvme.Tenant) {
@@ -276,6 +292,16 @@ func (d *DRR) Enqueue(io *nvme.IO) bool {
 	if !ok {
 		return false
 	}
+	if d.now != nil {
+		// Baseline for the vslot-wait delta computed at Commit. Include
+		// the in-progress deferral so a tenant already closed out of its
+		// slots charges the IO only from its arrival onward.
+		base := ts.deferAccum
+		if ts.where == deferred {
+			base += d.now() - ts.deferStart
+		}
+		io.VslotWait = base
+	}
 	wasEmpty := ts.empty()
 	ts.queues[io.Priority].push(io)
 	ts.queued++
@@ -320,6 +346,9 @@ func (d *DRR) redistribute() {
 }
 
 func (d *DRR) activate(ts *tenant) {
+	if ts.where == deferred && d.now != nil {
+		ts.deferAccum += d.now() - ts.deferStart
+	}
 	ts.where = active
 	d.activeList.pushBack(ts)
 }
@@ -327,6 +356,9 @@ func (d *DRR) activate(ts *tenant) {
 func (d *DRR) defer_(ts *tenant) {
 	if ts.where == active {
 		d.activeList.remove(ts)
+	}
+	if ts.where != deferred && d.now != nil {
+		ts.deferStart = d.now()
 	}
 	ts.where = deferred
 	ts.deficit = 0 // frozen at zero while deferred (§3.5)
@@ -339,6 +371,9 @@ func (d *DRR) idle_(ts *tenant) {
 	}
 	if ts.where == deferred {
 		d.deferCount--
+		if d.now != nil {
+			ts.deferAccum += d.now() - ts.deferStart
+		}
 	}
 	ts.where = idle
 	ts.deficit = 0
@@ -379,6 +414,12 @@ func (d *DRR) Commit(io *nvme.IO) {
 	w := d.weighted(io)
 	ts.pop(io)
 	ts.deficit -= w
+	if d.now != nil {
+		// The tenant is active here (Select found it on the active
+		// list), so deferAccum is up to date: the delta since Enqueue is
+		// exactly the deferral overlapping this IO's queue residency.
+		io.VslotWait = ts.deferAccum - io.VslotWait
+	}
 	io.Sched = ts.slots.Submit(w)
 	if !ts.slots.HasOpenSlot() {
 		d.defer_(ts)

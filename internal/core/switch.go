@@ -166,6 +166,7 @@ func New(clk sim.Scheduler, dev ssd.Device, cfg Config) *Switch {
 		cost: writecost.New(cfg.Cost),
 	}
 	sw.drr = sched.New(cfg.Sched, sw.weighted)
+	sw.drr.SetClock(clk.Now)
 	sw.pumpFn = sw.pump
 	sw.costTickFn = sw.costTick
 	sw.devDoneFn = sw.onDeviceDone
@@ -298,6 +299,7 @@ func (sw *Switch) onDeviceDone(io *nvme.IO) {
 				sw.probeLeft = rc.FailFastProbe
 				if sw.obs != nil {
 					sw.obs.failLatches.Inc()
+					sw.obs.event(sw.clk.Now(), "failfast-latch", true)
 				}
 			}
 		} else {
@@ -306,6 +308,7 @@ func (sw *Switch) onDeviceDone(io *nvme.IO) {
 				sw.failed = false
 				if sw.obs != nil {
 					sw.obs.failRecoveries.Inc()
+					sw.obs.event(sw.clk.Now(), "failfast-latch", false)
 				}
 			}
 		}
@@ -402,11 +405,13 @@ func (sw *Switch) degradeTick() {
 		sw.degraded = true
 		if sw.obs != nil {
 			sw.obs.degradeEnters.Inc()
+			sw.obs.event(sw.clk.Now(), "degrade", true)
 		}
 	} else if sw.degraded && sw.wellTicks >= ticks {
 		sw.degraded = false
 		if sw.obs != nil {
 			sw.obs.degradeExits.Inc()
+			sw.obs.event(sw.clk.Now(), "degrade", false)
 		}
 	}
 }

@@ -17,8 +17,9 @@ func benchSwitchSubmit(b *testing.B, attach bool) {
 	dev := ssd.NewNull(loop, 1<<30, 0)
 	sw := New(loop, dev, DefaultConfig())
 	if attach {
-		reg := obs.NewRegistry()
-		sw.AttachObs(reg, obs.NewTraceRing(1024), 0)
+		hub := obs.NewHub(obs.NewRegistry())
+		hub.Tracer = obs.NewTracer(obs.TracerConfig{Capacity: 1024, Mode: obs.TraceFull})
+		sw.AttachObs(hub, 0)
 	}
 	tn := nvme.NewTenant(1, "bench")
 	sw.Register(tn)

@@ -3,6 +3,7 @@ package fabric
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	"gimbal/internal/obs"
 	"gimbal/internal/sim"
@@ -140,18 +141,24 @@ func (t *Target) StatsSnapshot() *TargetStats {
 
 // AdminMux builds the observability endpoint of a live target:
 //
-//	GET /metrics  Prometheus text exposition of reg
+//	GET /metrics  Prometheus text exposition of the hub registry
 //	GET /stats    JSON TargetStats snapshot (under the scheduler lock)
-//	GET /trace    per-IO lifecycle traces as JSONL (most recent ring)
+//	GET /trace    captured per-IO lifecycle spans as JSONL; filters:
+//	              ?tenant=<name>   only that tenant's spans
+//	              ?phase=<name>    only spans whose dominant phase matches
+//	                               (fabric|queue|vslot|pacing|device|gc|complete)
+//	              ?n=<limit>       at most n lines, newest winning
+//	GET /slo      JSON SLOReport: per-tenant objectives, multi-window burn
+//	              rates, and correlated degrade/fault events
 //
 // The caller mounts pprof and serves the mux (cmd/gimbald does both).
-// reg should have GatherLock set to rs so scrapes serialize with the
+// hub.Reg should have GatherLock set to rs so scrapes serialize with the
 // pipelines.
-func AdminMux(rs *sim.RealScheduler, target *Target, reg *obs.Registry, ring *obs.TraceRing) *http.ServeMux {
+func AdminMux(rs *sim.RealScheduler, target *Target, hub *obs.Hub) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = reg.WritePrometheus(w)
+		_ = hub.Reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		rs.Lock()
@@ -164,9 +171,54 @@ func AdminMux(rs *sim.RealScheduler, target *Target, reg *obs.Registry, ring *ob
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		if ring != nil {
-			_ = ring.WriteJSONL(w)
+		ring := hub.Ring()
+		if ring == nil {
+			return
 		}
+		q := r.URL.Query()
+		tenant := q.Get("tenant")
+		phase := q.Get("phase")
+		if phase != "" {
+			if _, ok := (&obs.IOTrace{}).Phase(phase); !ok {
+				http.Error(w, "unknown phase "+phase, http.StatusBadRequest)
+				return
+			}
+		}
+		limit := 0
+		if s := q.Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		var keep func(*obs.IOTrace) bool
+		if tenant != "" || phase != "" {
+			keep = func(t *obs.IOTrace) bool {
+				if tenant != "" && t.Tenant != tenant {
+					return false
+				}
+				if phase != "" && t.DominantPhase() != phase {
+					return false
+				}
+				return true
+			}
+		}
+		_ = ring.WriteJSONLFunc(w, keep, limit)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if hub.SLO == nil {
+			_, _ = w.Write([]byte("{}\n"))
+			return
+		}
+		rs.Lock()
+		rep := hub.SLO.Report(rs.Now())
+		rs.Unlock()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
 	})
 	return mux
 }

@@ -14,8 +14,9 @@ import (
 )
 
 // startObservedTCP builds a live Gimbal target with the full telemetry
-// stack attached, as cmd/gimbald does.
-func startObservedTCP(t *testing.T) (*TCPTarget, string, *obs.Registry, *obs.TraceRing) {
+// stack attached, as cmd/gimbald does: registry, a full-capture tracer,
+// an SLO engine, and the shared event log.
+func startObservedTCP(t *testing.T) (*TCPTarget, string, *obs.Hub) {
 	t.Helper()
 	rs := sim.NewRealScheduler()
 	p := ssd.DCT983()
@@ -24,24 +25,29 @@ func startObservedTCP(t *testing.T) (*TCPTarget, string, *obs.Registry, *obs.Tra
 	dev.Precondition(ssd.Clean, sim.NewRNG(1))
 	tgt := NewTarget(rs, []ssd.Device{dev}, DefaultTargetConfig(SchemeGimbal))
 
-	reg := obs.NewRegistry()
-	reg.GatherLock = rs
-	ring := obs.NewTraceRing(1024)
+	hub := obs.NewHub(obs.NewRegistry())
+	hub.Reg.GatherLock = rs
+	hub.Tracer = obs.NewTracer(obs.TracerConfig{Capacity: 1024, Mode: obs.TraceFull})
+	hub.Events = obs.NewEventLog(64)
+	hub.SLO = obs.NewSLOEngine(obs.SLOConfig{
+		Default: obs.SLO{LatencyTargetNs: int64(time.Second), LatencyGoal: 0.999},
+	})
+	hub.SLO.SetEventLog(hub.Events)
 	rs.Lock()
-	tgt.AttachObs(reg, ring)
+	tgt.AttachObs(hub)
 	rs.Unlock()
 
 	srv, err := ServeTCP(rs, tgt, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.AttachObs(reg)
+	srv.AttachObs(hub.Reg)
 	t.Cleanup(func() { srv.Close() })
-	return srv, srv.Addr(), reg, ring
+	return srv, srv.Addr(), hub
 }
 
 func TestAdminEndpointLiveTarget(t *testing.T) {
-	srv, addr, reg, ring := startObservedTCP(t)
+	srv, addr, hub := startObservedTCP(t)
 	c, err := DialTCP(addr, SchemeGimbal)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +68,7 @@ func TestAdminEndpointLiveTarget(t *testing.T) {
 		}
 	}
 
-	mux := AdminMux(srv.RS, srv.target, reg, ring)
+	mux := AdminMux(srv.RS, srv.target, hub)
 
 	// /metrics: Prometheus text format with the pipeline instruments.
 	rec := httptest.NewRecorder()
@@ -124,10 +130,48 @@ func TestAdminEndpointLiveTarget(t *testing.T) {
 	if tr.DeviceNs <= 0 || tr.QueueNs < 0 || tr.PacingNs < 0 {
 		t.Fatalf("trace spans: %+v", tr)
 	}
+
+	// /trace filters: n= caps the output (newest win), tenant= selects by
+	// name, an unknown tenant matches nothing, a bad phase is rejected.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?n=8", nil))
+	if got := strings.Split(strings.TrimSpace(rec.Body.String()), "\n"); len(got) != 8 {
+		t.Fatalf("/trace?n=8 lines = %d, want 8", len(got))
+	}
+	tenantName := s0.Tenants[0].Tenant
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?tenant="+tenantName, nil))
+	if got := strings.Split(strings.TrimSpace(rec.Body.String()), "\n"); len(got) != 64 {
+		t.Fatalf("/trace?tenant=%s lines = %d, want 64", tenantName, len(got))
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?tenant=nobody", nil))
+	if body := strings.TrimSpace(rec.Body.String()); body != "" {
+		t.Fatalf("/trace?tenant=nobody returned %q", body)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?phase=warp", nil))
+	if rec.Code != 400 {
+		t.Fatalf("/trace?phase=warp code = %d, want 400", rec.Code)
+	}
+
+	// /slo: the engine saw every completed IO for the tenant.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	var slo obs.SLOReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &slo); err != nil {
+		t.Fatalf("bad /slo JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(slo.Tenants) != 1 || slo.Tenants[0].Tenant != tenantName {
+		t.Fatalf("/slo tenants: %+v", slo.Tenants)
+	}
+	if got := slo.Tenants[0].Good + slo.Tenants[0].Bad; got != 64 {
+		t.Fatalf("/slo observed %d IOs, want 64", got)
+	}
 }
 
 func TestShutdownDrainsInflight(t *testing.T) {
-	srv, addr, _, _ := startObservedTCP(t)
+	srv, addr, _ := startObservedTCP(t)
 	c, err := DialTCP(addr, SchemeGimbal)
 	if err != nil {
 		t.Fatal(err)

@@ -9,12 +9,13 @@ import (
 )
 
 // tenantObs is the per-tenant accounting a target keeps when observed:
-// completed traffic counters plus the registration time that anchors mean
-// bandwidth.
+// completed traffic counters, the registration time that anchors mean
+// bandwidth, and the tenant's SLO tracker (nil when no engine is attached).
 type tenantObs struct {
 	bytes  *obs.Counter
 	ops    *obs.Counter
 	errors *obs.Counter
+	slo    *obs.SLOTenant
 	since  int64
 	ssd    int
 	tenant *nvme.Tenant
@@ -23,29 +24,31 @@ type tenantObs struct {
 // targetObs indexes tenant accounting for StatsSnapshot and the registry.
 type targetObs struct {
 	reg     *obs.Registry
+	slo     *obs.SLOEngine
 	tenants map[*nvme.Tenant]*tenantObs
 	order   []*tenantObs
 }
 
-// AttachObs registers the target's pipelines into reg: switch and device
-// instruments per SSD, and per-tenant completion counters (created lazily
-// as tenants register). Call before traffic; tenants that registered
-// earlier are picked up retroactively.
-func (t *Target) AttachObs(reg *obs.Registry, ring *obs.TraceRing) {
-	t.obs = &targetObs{reg: reg, tenants: map[*nvme.Tenant]*tenantObs{}}
+// AttachObs registers the target's pipelines into the hub: switch and
+// device instruments per SSD, per-tenant completion counters (created
+// lazily as tenants register), and — when the hub carries them — the span
+// tracer, SLO engine, and recovery event log. Call before traffic; tenants
+// that registered earlier are picked up retroactively.
+func (t *Target) AttachObs(h *obs.Hub) {
+	t.obs = &targetObs{reg: h.Reg, slo: h.SLO, tenants: map[*nvme.Tenant]*tenantObs{}}
 	for i, p := range t.pipes {
 		if p.Gimbal != nil {
-			p.Gimbal.AttachObs(reg, ring, i)
+			p.Gimbal.AttachObs(h, i)
 		}
 		if dev, ok := p.Dev.(*ssd.SSD); ok {
-			dev.AttachObs(reg, i)
+			dev.AttachObs(h.Reg, i)
 		}
 		for _, tn := range p.tenants {
 			t.observeTenant(i, tn)
 		}
 	}
-	reg.Help("tenant_completed_bytes_total", "bytes completed per tenant")
-	reg.Help("tenant_credit", "virtual-slot credit currently granted to the tenant")
+	h.Reg.Help("tenant_completed_bytes_total", "bytes completed per tenant")
+	h.Reg.Help("tenant_credit", "virtual-slot credit currently granted to the tenant")
 }
 
 // observeTenant creates the per-tenant instruments (idempotent).
@@ -65,6 +68,9 @@ func (t *Target) observeTenant(ssdIdx int, tn *nvme.Tenant) {
 		ssd:    ssdIdx,
 		tenant: tn,
 	}
+	if t.obs.slo != nil {
+		to.slo = t.obs.slo.Tenant(tn.Name)
+	}
 	t.obs.tenants[tn] = to
 	t.obs.order = append(t.obs.order, to)
 	if sw := t.pipes[ssdIdx].Gimbal; sw != nil {
@@ -72,16 +78,30 @@ func (t *Target) observeTenant(ssdIdx int, tn *nvme.Tenant) {
 	}
 }
 
-// onCompletion feeds the per-tenant counters (nil-checked by the caller).
-func (o *targetObs) onCompletion(io *nvme.IO, cpl nvme.Completion) {
+// onCompletion feeds the per-tenant counters and the SLO engine (the
+// caller nil-checks targetObs). Latency is end-to-end when the IO carries
+// a client-side Origin stamp, target-side otherwise.
+func (o *targetObs) onCompletion(now int64, io *nvme.IO, cpl nvme.Completion) {
 	to, ok := o.tenants[io.Tenant]
 	if !ok {
 		return
 	}
-	if cpl.Status == nvme.StatusOK {
+	ok2 := cpl.Status == nvme.StatusOK
+	if ok2 {
 		to.bytes.Add(int64(io.Size))
 		to.ops.Inc()
 	} else {
 		to.errors.Inc()
+	}
+	if to.slo != nil {
+		start := io.Origin
+		if start == 0 {
+			start = io.Arrival
+		}
+		lat := now - start
+		if lat < 0 {
+			lat = 0
+		}
+		to.slo.Observe(now, lat, ok2, io.Size)
 	}
 }

@@ -300,6 +300,7 @@ func (s *Session) send(io *nvme.IO) {
 	ex := s.getExchange()
 	ex.io = io
 	ex.sendTime = s.clk.Now()
+	io.Origin = ex.sendTime // anchor for fabric-delay attribution
 	ex.clientDone = io.Done
 	io.Done = ex.devDoneFn
 
@@ -380,6 +381,9 @@ func (s *Session) sendAttempt(f *flight) {
 		Size:     f.io.Size,
 		Priority: f.io.Priority,
 		Tenant:   f.io.Tenant,
+		// Each attempt carries its own send time so the target-side trace
+		// attributes only this attempt's wire time as fabric delay.
+		Origin: s.clk.Now(),
 	}
 	a.Done = func(a *nvme.IO, cpl nvme.Completion) { s.onAttemptReply(f, a, cpl) }
 	s.dispatch(a)
@@ -412,6 +416,7 @@ func (s *Session) dispatch(a *nvme.IO) {
 			Size:     a.Size,
 			Priority: a.Priority,
 			Tenant:   a.Tenant,
+			Origin:   a.Origin,
 			Done:     a.Done,
 		}
 		dupAt := s.up.send(s.clk.Now(), wbytes) + s.lf.ExtraDelay()
@@ -457,8 +462,10 @@ func (s *Session) deliver(f *flight, a *nvme.IO, cpl nvme.Completion) {
 	f.done = true
 	f.timer.Cancel()
 	io := f.io
+	io.Origin = a.Origin
 	io.Arrival, io.Admit = a.Arrival, a.Admit
 	io.DevSubmit, io.DevDone = a.DevSubmit, a.DevDone
+	io.VslotWait, io.GCWait = a.VslotWait, a.GCWait
 	io.Failed = a.Failed
 	s.finish(f, cpl)
 }

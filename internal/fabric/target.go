@@ -215,7 +215,7 @@ func (t *Target) getIngressOp() *ingressOp {
 func (op *ingressOp) onDone(io *nvme.IO, cpl nvme.Completion) {
 	t := op.t
 	if t.obs != nil {
-		t.obs.onCompletion(io, cpl)
+		t.obs.onCompletion(t.clk.Now(), io, cpl)
 	}
 	if t.cfg.CPU == nil {
 		op.finish(cpl)
@@ -242,6 +242,12 @@ func (op *ingressOp) finish(cpl nvme.Completion) {
 // already set on the IO receives the completion after the egress charge.
 func (t *Target) Ingress(ssdIdx int, io *nvme.IO) {
 	pipe := t.pipes[ssdIdx]
+	if io.Origin == 0 {
+		// No transport stamped a client-side send time; anchor the
+		// fabric span at NIC ingress so FabricDelay covers only the
+		// CPU submit charge.
+		io.Origin = t.clk.Now()
+	}
 	op := t.getIngressOp()
 	op.pipe = pipe
 	op.io = io

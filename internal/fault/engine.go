@@ -20,6 +20,10 @@ type Engine struct {
 	// Fabric applies (active=true) or reverts (active=false) a fabric
 	// event on the addressed session.
 	Fabric func(ev Event, active bool)
+	// OnEvent, when set, observes every fault transition after it is
+	// applied (telemetry hook: the bench harness feeds the SLO engine's
+	// event log for burn-rate correlation).
+	OnEvent func(ev Event, active bool)
 
 	Armed int   // events armed by Arm
 	Fired int64 // fault transitions executed so far
@@ -80,5 +84,8 @@ func (e *Engine) apply(ev Event, active bool) {
 		}
 	default: // fabric kinds
 		e.Fabric(ev, active)
+	}
+	if e.OnEvent != nil {
+		e.OnEvent(ev, active)
 	}
 }

@@ -109,10 +109,19 @@ type IO struct {
 	Priority Priority
 	Tenant   *Tenant
 
+	Origin    int64 // client-side send time (0 when there is no transport)
 	Arrival   int64 // target ingress time
 	Admit     int64 // first scheduler dispatch attempt (0 until selected)
 	DevSubmit int64 // submission to the NVMe device
 	DevDone   int64 // device completion
+
+	// VslotWait is the time the IO's tenant spent deferred with every
+	// virtual slot closed (congestion-control clamp) while this IO was
+	// queued; the DRR scheduler accounts it between Enqueue and Commit.
+	VslotWait int64
+	// GCWait is the device-side stall attributed to garbage collection,
+	// copied from the completed device request.
+	GCWait int64
 
 	// Failed is set when the device reported a media error; schedulers
 	// translate it into a completion status.
@@ -241,6 +250,7 @@ func (s *Submitter) Submit(io *IO, done func(*IO)) {
 func reqDone(r *ssd.Request) {
 	io := r.Tag.(*IO)
 	io.DevDone = r.CompleteTime
+	io.GCWait = r.GCWait
 	io.Failed = r.MediaErr
 	io.devDone(io)
 }

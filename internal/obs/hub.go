@@ -1,0 +1,24 @@
+package obs
+
+// Hub bundles the observability sinks one deployment attaches to a
+// target: the metrics registry, the span tracer, the SLO engine, and the
+// shared event log. Only Reg is mandatory; instrumented components
+// nil-check the optional sinks, so an unattached feature costs one
+// predictable branch.
+type Hub struct {
+	Reg    *Registry
+	Tracer *Tracer
+	SLO    *SLOEngine
+	Events *EventLog
+}
+
+// NewHub wraps a registry with no tracer, SLO engine, or event log.
+func NewHub(reg *Registry) *Hub { return &Hub{Reg: reg} }
+
+// Ring returns the tracer's ring, or nil when tracing is not attached.
+func (h *Hub) Ring() *TraceRing {
+	if h == nil || h.Tracer == nil {
+		return nil
+	}
+	return h.Tracer.Ring()
+}

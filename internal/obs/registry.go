@@ -1,8 +1,11 @@
 // Package obs is the telemetry layer shared by the discrete-event
 // simulator, the benchmark harness, and the live gimbald target: a
-// lock-cheap metrics registry of atomic counters and gauges (plus the
-// stats package's histograms and EWMAs registered as instruments), labeled
-// per SSD and per tenant, and a per-IO lifecycle trace ring (trace.go).
+// sharded, cardinality-bounded metrics registry of atomic counters and
+// gauges (plus the stats package's histograms registered as instruments),
+// labeled per SSD and per tenant; a per-IO span tracer with tail-biased
+// sampling (trace.go, tracer.go); and a per-tenant SLO engine with
+// multi-window burn-rate tracking and fault/degrade event correlation
+// (slo.go). A Hub (hub.go) bundles the sinks one deployment attaches.
 //
 // Design rules:
 //
@@ -12,6 +15,15 @@
 //   - Instrumented components keep a nil-checkable observer pointer, so a
 //     system with no registry attached pays one predictable branch per
 //     hook (verified by BenchmarkSwitchSubmit in internal/core).
+//   - Registration is sharded: instrument identity (name{labels}) hashes
+//     to one of 16 shards, each with its own lock, so per-reactor
+//     registration of 100k tenant label sets does not serialize on a
+//     single mutex. Label strings are interned so the many instruments of
+//     one tenant share one backing array.
+//   - Cardinality is bounded per metric name (DefaultMaxSeries): once a
+//     name's series budget is exhausted, further label sets collapse into
+//     one shared series labeled overflow="true". Bounded memory beats
+//     per-series fidelity once cardinality explodes.
 //   - Collection (Gather / WritePrometheus / Snapshot) serializes against
 //     scheduler context through an optional GatherLock — the live daemon
 //     sets it to the RealScheduler so scraping a histogram mid-update is
@@ -23,6 +35,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +87,38 @@ func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
 // Load returns the current value.
 func (g *Gauge) Load() float64 { return floatFromBits(g.bits.Load()) }
 
+// Exemplar links one exported metric family to a captured trace span, so a
+// quantile in a scrape can be chased to the concrete IO behind it.
+type Exemplar struct {
+	Value  float64 // observed value (nanoseconds for latency histograms)
+	Span   uint64  // Tracer span id of the captured IO
+	Tenant string
+	At     int64 // scheduler timestamp of the observation
+}
+
+// ExemplarSlot holds the most recent exemplar for one instrument. It is a
+// mutex-guarded value, not a pointer swap, so setting an exemplar on the
+// capture path allocates nothing.
+type ExemplarSlot struct {
+	mu  sync.Mutex
+	ex  Exemplar
+	set bool
+}
+
+// Set stores ex as the current exemplar.
+func (s *ExemplarSlot) Set(ex Exemplar) {
+	s.mu.Lock()
+	s.ex, s.set = ex, true
+	s.mu.Unlock()
+}
+
+// Load returns the current exemplar and whether one has been set.
+func (s *ExemplarSlot) Load() (Exemplar, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ex, s.set
+}
+
 // kind discriminates instrument types for export.
 type kind int
 
@@ -94,12 +139,74 @@ type instrument struct {
 	gauge   *Gauge
 	fn      func() float64
 	hist    *stats.Histogram
+	ex      *ExemplarSlot
+
+	// Export-name cache, built lazily on first collection (under gatherMu)
+	// so steady-state scrapes of a histogram allocate nothing.
+	qlabels   [3]Labels
+	sumName   string
+	countName string
 }
 
 func (in *instrument) id() string { return in.name + "{" + string(in.labels) + "}" }
 
+// histQuantiles are the summary quantiles every histogram exports.
+var histQuantiles = [3]struct {
+	tag string
+	q   float64
+}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}}
+
+// exportNames fills the instrument's lazily-built export-name cache.
+// Callers must hold the registry's gatherMu (collection is serialized, so
+// the cache is never built concurrently).
+func (in *instrument) exportNames() {
+	if in.sumName != "" {
+		return
+	}
+	for i, q := range histQuantiles {
+		lb := in.labels
+		if lb != "" {
+			lb += ","
+		}
+		in.qlabels[i] = lb + Labels(`quantile="`+q.tag+`"`)
+	}
+	in.sumName = in.name + "_sum"
+	in.countName = in.name + "_count"
+}
+
+// numShards is the registration shard count: a small power of two keeps
+// the footprint negligible while spreading registration of large tenant
+// populations across independent locks.
+const numShards = 16
+
+// DefaultMaxSeries is the per-metric-name series budget before overflow
+// bucketing kicks in: generous enough for a 100k-tenant label set, small
+// enough to bound a runaway label leak.
+const DefaultMaxSeries = 1 << 17
+
+// shardOf hashes an instrument id with FNV-1a.
+func shardOf(id string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int(h % numShards)
+}
+
+type registryShard struct {
+	mu sync.Mutex
+	by map[string]*instrument
+}
+
 // Registry holds the instruments of one system (one simulation run or one
-// daemon process). Instrument registration is idempotent on (name, labels).
+// daemon process). Instrument registration is idempotent on (name, labels)
+// and sharded by instrument identity; the registry-wide lock guards only
+// the slow registration bookkeeping (ordering, interning, cardinality).
 type Registry struct {
 	// GatherLock, when set, is held across Gather/WritePrometheus/Snapshot
 	// so collection serializes with scheduler-context updates of
@@ -107,34 +214,136 @@ type Registry struct {
 	// RealScheduler. It must not be held by the caller.
 	GatherLock sync.Locker
 
-	mu    sync.Mutex
-	by    map[string]*instrument
-	order []*instrument
-	help  map[string]string
+	shards [numShards]registryShard
+
+	mu        sync.Mutex
+	order     []*instrument
+	help      map[string]string
+	interned  map[Labels]Labels
+	series    map[string]int
+	overflow  map[string]*instrument
+	maxSeries int
+
+	// gatherMu serializes collection so the sample and instrument scratch
+	// buffers can be reused across scrapes.
+	gatherMu   sync.Mutex
+	scratch    []Sample
+	insScratch []*instrument
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{by: map[string]*instrument{}, help: map[string]string{}}
+	return &Registry{
+		help:     map[string]string{},
+		interned: map[Labels]Labels{},
+		series:   map[string]int{},
+		overflow: map[string]*instrument{},
+	}
+}
+
+// SetMaxSeries overrides the per-metric-name series budget
+// (DefaultMaxSeries). n must be positive; call before traffic.
+func (r *Registry) SetMaxSeries(n int) {
+	if n <= 0 {
+		panic("obs: SetMaxSeries requires a positive budget")
+	}
+	r.mu.Lock()
+	r.maxSeries = n
+	r.mu.Unlock()
+}
+
+// Intern returns a canonical copy of l: every instrument registered with
+// an equal label set shares one backing string.
+func (r *Registry) Intern(l Labels) Labels {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.internLocked(l)
+}
+
+func (r *Registry) internLocked(l Labels) Labels {
+	if l == "" {
+		return l
+	}
+	if v, ok := r.interned[l]; ok {
+		return v
+	}
+	r.interned[l] = l
+	return l
+}
+
+// overflowKey identifies one (name, kind) overflow series.
+func overflowKey(name string, k kind) string {
+	return name + "\x00" + strconv.Itoa(int(k))
+}
+
+// overflowLocked returns the shared overflow instrument for a metric name
+// whose series budget is exhausted. All overflowed label sets of one name
+// and kind collapse into a single series labeled overflow="true": counters
+// keep aggregate totals, histograms merge samples, gauges degrade to
+// last-writer-wins.
+func (r *Registry) overflowLocked(name string, k kind, mk func() *instrument) *instrument {
+	key := overflowKey(name, k)
+	if in, ok := r.overflow[key]; ok {
+		return in
+	}
+	in := mk()
+	in.name, in.labels, in.kind = name, Labels(`overflow="true"`), k
+	r.overflow[key] = in
+	r.order = append(r.order, in)
+	return in
 }
 
 // lookup returns the existing instrument or registers a new one built by
 // mk. It panics when (name, labels) is already registered with a different
-// kind — instrument identities are code, not input.
+// kind — instrument identities are code, not input. Overflowed identities
+// are deliberately not cached in the shard map (that map growing without
+// bound is exactly what the budget prevents); callers are expected to
+// cache the returned instrument pointer.
 func (r *Registry) lookup(name string, labels Labels, k kind, mk func() *instrument) *instrument {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	id := name + "{" + string(labels) + "}"
-	if in, ok := r.by[id]; ok {
+	sh := &r.shards[shardOf(id)]
+	sh.mu.Lock()
+	if sh.by == nil {
+		sh.by = map[string]*instrument{}
+	}
+	if in, ok := sh.by[id]; ok {
+		sh.mu.Unlock()
 		if in.kind != k {
 			panic("obs: " + id + " re-registered with a different kind")
 		}
 		return in
 	}
+	// New series: cardinality accounting, interning, and registration
+	// order live under the registry lock. Lock order is shard → registry,
+	// never the reverse.
+	r.mu.Lock()
+	budget := r.maxSeries
+	if budget == 0 {
+		budget = DefaultMaxSeries
+	}
+	if r.series == nil {
+		r.series = map[string]int{}
+	}
+	if r.series[name] >= budget {
+		if r.overflow == nil {
+			r.overflow = map[string]*instrument{}
+		}
+		in := r.overflowLocked(name, k, mk)
+		r.mu.Unlock()
+		sh.mu.Unlock()
+		return in
+	}
+	r.series[name]++
+	if r.interned == nil {
+		r.interned = map[Labels]Labels{}
+	}
+	labels = r.internLocked(labels)
 	in := mk()
 	in.name, in.labels, in.kind = name, labels, k
-	r.by[id] = in
 	r.order = append(r.order, in)
+	r.mu.Unlock()
+	sh.by[id] = in
+	sh.mu.Unlock()
 	return in
 }
 
@@ -174,9 +383,29 @@ func (r *Registry) Histogram(name string, labels Labels) *stats.Histogram {
 	}).hist
 }
 
+// ExemplarSlot returns the exemplar slot attached to the histogram
+// registered under (name, labels), creating histogram and slot as needed.
+// The slot's exemplar is exported alongside the family by
+// WritePrometheus.
+func (r *Registry) ExemplarSlot(name string, labels Labels) *ExemplarSlot {
+	in := r.lookup(name, labels, kindHistogram, func() *instrument {
+		return &instrument{hist: stats.NewHistogram()}
+	})
+	r.mu.Lock()
+	if in.ex == nil {
+		in.ex = &ExemplarSlot{}
+	}
+	ex := in.ex
+	r.mu.Unlock()
+	return ex
+}
+
 // Help sets the HELP text exported for a metric name.
 func (r *Registry) Help(name, text string) {
 	r.mu.Lock()
+	if r.help == nil {
+		r.help = map[string]string{}
+	}
 	r.help[name] = text
 	r.mu.Unlock()
 }
@@ -188,27 +417,47 @@ type Sample struct {
 	Value  float64
 }
 
-// snapshotLocked clones the instrument list so collection can run without
-// holding r.mu (gauge funcs may take arbitrary time).
+// instruments clones the registration-order instrument list into the
+// reusable scratch so collection can run without holding r.mu (gauge
+// funcs may take arbitrary time). Callers must hold gatherMu.
 func (r *Registry) instruments() []*instrument {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]*instrument(nil), r.order...)
+	r.insScratch = append(r.insScratch[:0], r.order...)
+	return r.insScratch
 }
 
-// Gather flattens every instrument into samples. Histograms contribute
-// quantile samples plus _sum and _count.
+// Gather flattens every instrument into samples in registration order.
+// Histograms contribute quantile samples plus _sum and _count.
+//
+// The returned slice is a scratch buffer reused by the next collection
+// call (Gather, Snapshot, or WritePrometheus): consume or copy it before
+// collecting again. Steady-state scrapes allocate nothing.
 func (r *Registry) Gather() []Sample {
 	if r.GatherLock != nil {
 		r.GatherLock.Lock()
 		defer r.GatherLock.Unlock()
 	}
+	r.gatherMu.Lock()
+	defer r.gatherMu.Unlock()
 	return r.gather()
 }
 
 func (r *Registry) gather() []Sample {
-	var out []Sample
-	for _, in := range r.instruments() {
+	ins := r.instruments()
+	need := 0
+	for _, in := range ins {
+		if in.kind == kindHistogram {
+			need += len(histQuantiles) + 2
+		} else {
+			need++
+		}
+	}
+	if cap(r.scratch) < need {
+		r.scratch = make([]Sample, 0, need)
+	}
+	out := r.scratch[:0]
+	for _, in := range ins {
 		switch in.kind {
 		case kindCounter:
 			out = append(out, Sample{in.name, in.labels, float64(in.counter.Load())})
@@ -217,22 +466,16 @@ func (r *Registry) gather() []Sample {
 		case kindGaugeFunc:
 			out = append(out, Sample{in.name, in.labels, in.fn()})
 		case kindHistogram:
+			in.exportNames()
 			h := in.hist
-			for _, q := range []struct {
-				q string
-				v int64
-			}{{"0.5", h.P50()}, {"0.99", h.P99()}, {"0.999", h.P999()}} {
-				lb := in.labels
-				if lb != "" {
-					lb += ","
-				}
-				lb += Labels(`quantile="` + q.q + `"`)
-				out = append(out, Sample{in.name, lb, float64(q.v)})
+			for i, q := range histQuantiles {
+				out = append(out, Sample{in.name, in.qlabels[i], float64(h.Quantile(q.q))})
 			}
-			out = append(out, Sample{in.name + "_sum", in.labels, h.Mean() * float64(h.Count())})
-			out = append(out, Sample{in.name + "_count", in.labels, float64(h.Count())})
+			out = append(out, Sample{in.sumName, in.labels, h.Mean() * float64(h.Count())})
+			out = append(out, Sample{in.countName, in.labels, float64(h.Count())})
 		}
 	}
+	r.scratch = out
 	return out
 }
 
@@ -263,11 +506,16 @@ func SumMetric(snap map[string]float64, name string) float64 {
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format, grouped by metric family with TYPE (and optional HELP) headers.
+// Histogram families carry their exemplar, when set, as a trailing
+// `# EXEMPLAR` comment line (an exposition-format extension: comments are
+// ignored by standard parsers).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r.GatherLock != nil {
 		r.GatherLock.Lock()
 		defer r.GatherLock.Unlock()
 	}
+	r.gatherMu.Lock()
+	defer r.gatherMu.Unlock()
 	ins := r.instruments()
 	r.mu.Lock()
 	help := make(map[string]string, len(r.help))
@@ -337,24 +585,26 @@ func writeSamples(w io.Writer, in *instrument) error {
 	case kindGaugeFunc:
 		return line(in.name, in.labels, in.fn())
 	case kindHistogram:
+		in.exportNames()
 		h := in.hist
-		for _, q := range []struct {
-			q string
-			v int64
-		}{{"0.5", h.P50()}, {"0.99", h.P99()}, {"0.999", h.P999()}} {
-			lb := in.labels
-			if lb != "" {
-				lb += ","
-			}
-			lb += Labels(`quantile="` + q.q + `"`)
-			if err := line(in.name, lb, float64(q.v)); err != nil {
+		for i, q := range histQuantiles {
+			if err := line(in.name, in.qlabels[i], float64(h.Quantile(q.q))); err != nil {
 				return err
 			}
 		}
-		if err := line(in.name+"_sum", in.labels, h.Mean()*float64(h.Count())); err != nil {
+		if err := line(in.sumName, in.labels, h.Mean()*float64(h.Count())); err != nil {
 			return err
 		}
-		return line(in.name+"_count", in.labels, float64(h.Count()))
+		if err := line(in.countName, in.labels, float64(h.Count())); err != nil {
+			return err
+		}
+		if in.ex != nil {
+			if ex, ok := in.ex.Load(); ok {
+				_, err := fmt.Fprintf(w, "# EXEMPLAR %s{%s} {span=\"%d\",tenant=%q} %s %d\n",
+					in.name, in.labels, ex.Span, ex.Tenant, formatValue(ex.Value), ex.At)
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,430 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// SLO declares one tenant's service objective.
+type SLO struct {
+	// LatencyTargetNs is the per-IO latency objective: an IO is "good"
+	// when it completes successfully within this budget. 0 means
+	// success-only (every successful IO is good).
+	LatencyTargetNs int64 `json:"latency_target_ns"`
+	// LatencyGoal is the fraction of IOs that must be good, e.g. 0.999.
+	// The error budget is 1 − LatencyGoal.
+	LatencyGoal float64 `json:"latency_goal"`
+	// BandwidthFloorBps, when nonzero, is the delivered-bandwidth floor
+	// the tenant expects; reports flag windows that undershoot it.
+	BandwidthFloorBps float64 `json:"bandwidth_floor_bps,omitempty"`
+}
+
+// SLOConfig configures an SLOEngine.
+type SLOConfig struct {
+	// Default is the objective applied to tenants first seen by Observe.
+	Default SLO
+	// WindowsNs are the burn-rate window widths, ascending. The classic
+	// SRE multi-window alert compares a short window (is it burning now?)
+	// against a long one (has it burned enough to matter?).
+	WindowsNs []int64
+	// BucketsPerWindow is each window's ring resolution (default 16).
+	BucketsPerWindow int
+}
+
+// DefaultSLOWindows spans the simulated experiments' time scales: 10ms
+// (is the tail burning right now), 100ms (one brownout unit), 1s.
+var DefaultSLOWindows = []int64{10_000_000, 100_000_000, 1_000_000_000}
+
+// burnBucket is one time slice of good/bad/bytes accounting.
+type burnBucket struct{ good, bad, bytes int64 }
+
+// burnWindow is a ring of buckets covering one window width. Rotation is
+// O(1) amortized and allocation-free: Observe advances the cursor bucket
+// by bucket, zeroing as it goes, and clears the whole ring at once after
+// a gap longer than the window.
+type burnWindow struct {
+	widthNs  int64
+	bucketNs int64
+	buckets  []burnBucket
+	cur      int
+	curStart int64
+}
+
+func (w *burnWindow) rotate(now int64) {
+	steps := (now - w.curStart) / w.bucketNs
+	if steps <= 0 {
+		return
+	}
+	if steps >= int64(len(w.buckets)) {
+		for i := range w.buckets {
+			w.buckets[i] = burnBucket{}
+		}
+		w.curStart += steps * w.bucketNs
+		return
+	}
+	for ; steps > 0; steps-- {
+		w.cur++
+		if w.cur == len(w.buckets) {
+			w.cur = 0
+		}
+		w.buckets[w.cur] = burnBucket{}
+		w.curStart += w.bucketNs
+	}
+}
+
+func (w *burnWindow) totals(now int64) (good, bad, bytes int64) {
+	w.rotate(now)
+	for i := range w.buckets {
+		good += w.buckets[i].good
+		bad += w.buckets[i].bad
+		bytes += w.buckets[i].bytes
+	}
+	return
+}
+
+// SLOTenant tracks one tenant against its objective. All methods run in
+// scheduler context (the same single-threaded discipline as histograms);
+// collection serializes through the registry GatherLock or the
+// RealScheduler lock.
+type SLOTenant struct {
+	name string
+	slo  SLO
+	wins []burnWindow
+
+	// Cumulative since the last Reset (the harness resets at end of
+	// warmup, so these cover the measured interval).
+	good, bad, bytes int64
+}
+
+// Name returns the tenant name.
+func (t *SLOTenant) Name() string { return t.name }
+
+// Objective returns the tenant's declared SLO.
+func (t *SLOTenant) Objective() SLO { return t.slo }
+
+// Observe records one completed IO: ok is transport/device success,
+// latNs the end-to-end latency judged against the objective, bytes the
+// payload delivered. Allocation-free.
+func (t *SLOTenant) Observe(now, latNs int64, ok bool, bytes int) {
+	good := ok && (t.slo.LatencyTargetNs <= 0 || latNs <= t.slo.LatencyTargetNs)
+	if good {
+		t.good++
+	} else {
+		t.bad++
+	}
+	t.bytes += int64(bytes)
+	for i := range t.wins {
+		w := &t.wins[i]
+		w.rotate(now)
+		b := &w.buckets[w.cur]
+		if good {
+			b.good++
+		} else {
+			b.bad++
+		}
+		b.bytes += int64(bytes)
+	}
+}
+
+// BurnRate returns the error-budget burn rate over window i at time now:
+// the observed bad fraction divided by the budget (1 − goal). 1.0 burns
+// the budget exactly at the sustainable rate; values above it exhaust the
+// budget early. Returns 0 with no samples in the window.
+func (t *SLOTenant) BurnRate(i int, now int64) float64 {
+	good, bad, _ := t.wins[i].totals(now)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - t.slo.LatencyGoal
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// WindowBandwidthBps returns the delivered bandwidth over window i.
+func (t *SLOTenant) WindowBandwidthBps(i int, now int64) float64 {
+	_, _, bytes := t.wins[i].totals(now)
+	return float64(bytes) * 1e9 / float64(t.wins[i].widthNs)
+}
+
+// MetFraction returns the cumulative good fraction since the last Reset
+// (1.0 with no samples — an idle tenant has burned nothing).
+func (t *SLOTenant) MetFraction() float64 {
+	total := t.good + t.bad
+	if total == 0 {
+		return 1
+	}
+	return float64(t.good) / float64(total)
+}
+
+// Totals returns the cumulative good/bad/bytes since the last Reset.
+func (t *SLOTenant) Totals() (good, bad, bytes int64) { return t.good, t.bad, t.bytes }
+
+func (t *SLOTenant) reset(now int64) {
+	t.good, t.bad, t.bytes = 0, 0, 0
+	for i := range t.wins {
+		w := &t.wins[i]
+		for j := range w.buckets {
+			w.buckets[j] = burnBucket{}
+		}
+		w.cur = 0
+		w.curStart = now
+	}
+}
+
+// SLOEngine tracks every tenant's objective and correlates burn with the
+// shared event log (degrade latches, fail-fast trips, injected faults).
+type SLOEngine struct {
+	cfg    SLOConfig
+	events *EventLog
+
+	mu      sync.Mutex
+	tenants map[string]*SLOTenant
+	order   []*SLOTenant
+}
+
+// NewSLOEngine builds an engine; zero config fields take their defaults.
+func NewSLOEngine(cfg SLOConfig) *SLOEngine {
+	if len(cfg.WindowsNs) == 0 {
+		cfg.WindowsNs = DefaultSLOWindows
+	}
+	ws := append([]int64(nil), cfg.WindowsNs...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	cfg.WindowsNs = ws
+	if cfg.BucketsPerWindow <= 0 {
+		cfg.BucketsPerWindow = 16
+	}
+	if cfg.Default.LatencyGoal <= 0 || cfg.Default.LatencyGoal >= 1 {
+		cfg.Default.LatencyGoal = 0.999
+	}
+	return &SLOEngine{cfg: cfg, tenants: map[string]*SLOTenant{}}
+}
+
+// Config returns the engine configuration.
+func (e *SLOEngine) Config() SLOConfig { return e.cfg }
+
+// SetEventLog attaches the event log reports correlate against.
+func (e *SLOEngine) SetEventLog(l *EventLog) { e.events = l }
+
+// Events returns the attached event log (may be nil).
+func (e *SLOEngine) Events() *EventLog { return e.events }
+
+// Windows returns the burn-rate window widths, ascending.
+func (e *SLOEngine) Windows() []int64 { return e.cfg.WindowsNs }
+
+// Tenant returns the tracker for name, registering it with the default
+// objective on first sight. Callers on the completion path should cache
+// the returned pointer — the map lookup is not free.
+func (e *SLOEngine) Tenant(name string) *SLOTenant {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tenants[name]; ok {
+		return t
+	}
+	t := e.newTenantLocked(name, e.cfg.Default)
+	return t
+}
+
+func (e *SLOEngine) newTenantLocked(name string, slo SLO) *SLOTenant {
+	t := &SLOTenant{name: name, slo: slo}
+	t.wins = make([]burnWindow, len(e.cfg.WindowsNs))
+	for i, w := range e.cfg.WindowsNs {
+		bn := w / int64(e.cfg.BucketsPerWindow)
+		if bn < 1 {
+			bn = 1
+		}
+		t.wins[i] = burnWindow{
+			widthNs:  w,
+			bucketNs: bn,
+			buckets:  make([]burnBucket, e.cfg.BucketsPerWindow),
+		}
+	}
+	e.tenants[name] = t
+	e.order = append(e.order, t)
+	return t
+}
+
+// SetObjective declares or replaces a tenant's objective.
+func (e *SLOEngine) SetObjective(name string, slo SLO) *SLOTenant {
+	if slo.LatencyGoal <= 0 || slo.LatencyGoal >= 1 {
+		slo.LatencyGoal = e.cfg.Default.LatencyGoal
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.tenants[name]; ok {
+		t.slo = slo
+		return t
+	}
+	return e.newTenantLocked(name, slo)
+}
+
+// Reset restarts measurement for every tenant (end of warmup).
+func (e *SLOEngine) Reset(now int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, t := range e.order {
+		t.reset(now)
+	}
+}
+
+// SLOWindowReport is one window's burn state in a report.
+type SLOWindowReport struct {
+	WindowNs     int64   `json:"window_ns"`
+	Good         int64   `json:"good"`
+	Bad          int64   `json:"bad"`
+	BurnRate     float64 `json:"burn_rate"`
+	BandwidthBps float64 `json:"bandwidth_bps"`
+	UnderFloor   bool    `json:"under_floor,omitempty"`
+}
+
+// SLOTenantReport is one tenant's standing in a report.
+type SLOTenantReport struct {
+	Tenant      string            `json:"tenant"`
+	Objective   SLO               `json:"objective"`
+	Good        int64             `json:"good"`
+	Bad         int64             `json:"bad"`
+	MetFraction float64           `json:"met_fraction"`
+	Windows     []SLOWindowReport `json:"windows"`
+	Burning     bool              `json:"burning"`
+	Correlated  []string          `json:"correlated_events,omitempty"`
+}
+
+// SLOReport is the /slo endpoint payload.
+type SLOReport struct {
+	NowNs     int64             `json:"now_ns"`
+	WindowsNs []int64           `json:"windows_ns"`
+	Tenants   []SLOTenantReport `json:"tenants"`
+	Events    []Event           `json:"events,omitempty"`
+}
+
+// Report renders every tenant's burn state at time now, in registration
+// order, and correlates burning tenants with events from the attached log
+// that fall inside the longest window. Call from scheduler context (or
+// under the RealScheduler lock in the live daemon).
+func (e *SLOEngine) Report(now int64) SLOReport {
+	e.mu.Lock()
+	tenants := append([]*SLOTenant(nil), e.order...)
+	e.mu.Unlock()
+
+	rep := SLOReport{NowNs: now, WindowsNs: e.cfg.WindowsNs}
+	var events []Event
+	if e.events != nil {
+		events = e.events.Snapshot()
+		rep.Events = events
+	}
+	longest := e.cfg.WindowsNs[len(e.cfg.WindowsNs)-1]
+	for _, t := range tenants {
+		tr := SLOTenantReport{
+			Tenant:      t.name,
+			Objective:   t.slo,
+			Good:        t.good,
+			Bad:         t.bad,
+			MetFraction: t.MetFraction(),
+		}
+		for i := range t.wins {
+			w := SLOWindowReport{WindowNs: t.wins[i].widthNs}
+			w.Good, w.Bad, _ = t.wins[i].totals(now)
+			w.BurnRate = t.BurnRate(i, now)
+			w.BandwidthBps = t.WindowBandwidthBps(i, now)
+			if t.slo.BandwidthFloorBps > 0 && w.BandwidthBps < t.slo.BandwidthFloorBps {
+				w.UnderFloor = true
+			}
+			if w.BurnRate > 1 {
+				tr.Burning = true
+			}
+			tr.Windows = append(tr.Windows, w)
+		}
+		if tr.Burning {
+			tr.Correlated = correlate(events, now-longest)
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	return rep
+}
+
+// correlate returns the distinct event kinds at or after since, in first-
+// seen order: the "what else was happening" answer next to a hot burn.
+func correlate(events []Event, since int64) []string {
+	var kinds []string
+	for i := range events {
+		if events[i].At < since {
+			continue
+		}
+		dup := false
+		for _, k := range kinds {
+			if k == events[i].Kind {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kinds = append(kinds, events[i].Kind)
+		}
+	}
+	return kinds
+}
+
+// Event is one timestamped condition change worth correlating with SLO
+// burn: a fault injection, a degrade latch, a fail-fast trip.
+type Event struct {
+	At     int64  `json:"at_ns"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	// Active is true when the condition began and false when it cleared.
+	Active bool `json:"active"`
+}
+
+// EventLog is a fixed-capacity ring of events with TraceRing's wraparound
+// semantics: once full, each append evicts the oldest entry, and
+// Snapshot returns the survivors oldest-first. Events are rare (state
+// transitions, not per-IO), so a mutex and a small ring suffice.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	pos   int
+	full  bool
+	total uint64
+}
+
+// NewEventLog returns a log holding the last capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// Append records one event.
+func (l *EventLog) Append(at int64, kind, detail string, active bool) {
+	l.mu.Lock()
+	l.buf[l.pos] = Event{At: at, Kind: kind, Detail: detail, Active: active}
+	l.pos++
+	if l.pos == len(l.buf) {
+		l.pos = 0
+		l.full = true
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total returns the number of events ever appended.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the held events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]Event(nil), l.buf[:l.pos]...)
+	}
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.pos:]...)
+	out = append(out, l.buf[:l.pos]...)
+	return out
+}

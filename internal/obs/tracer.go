@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// TraceMode selects the tracer's capture policy.
+type TraceMode int
+
+const (
+	// TraceOff captures nothing; Observe is a single branch.
+	TraceOff TraceMode = iota
+	// TraceSampled captures every slow IO (latency ≥ SlowNs) plus every
+	// SampleEvery-th IO, so the tail is complete while the hot path stays
+	// allocation-free and cheap.
+	TraceSampled
+	// TraceFull captures every IO.
+	TraceFull
+)
+
+// String renders the mode the way ParseTraceMode reads it.
+func (m TraceMode) String() string {
+	switch m {
+	case TraceOff:
+		return "off"
+	case TraceSampled:
+		return "sampled"
+	case TraceFull:
+		return "full"
+	}
+	return fmt.Sprintf("TraceMode(%d)", int(m))
+}
+
+// ParseTraceMode parses off/sampled/full.
+func ParseTraceMode(s string) (TraceMode, error) {
+	switch s {
+	case "off":
+		return TraceOff, nil
+	case "sampled":
+		return TraceSampled, nil
+	case "full":
+		return TraceFull, nil
+	}
+	return TraceOff, fmt.Errorf("obs: unknown trace mode %q (off|sampled|full)", s)
+}
+
+// TracerConfig configures a Tracer.
+type TracerConfig struct {
+	// Capacity is the trace ring size (default 8192).
+	Capacity int
+	// Mode is the capture policy (default TraceSampled).
+	Mode TraceMode
+	// SlowNs, in sampled mode, always captures IOs whose switch residency
+	// (done − arrival) is at least this long. 0 disables the slow path
+	// trigger.
+	SlowNs int64
+	// SampleEvery, in sampled mode, captures the first and then every Nth
+	// observed IO regardless of latency, keeping an unbiased baseline next
+	// to the tail-complete slow captures. 0 disables periodic sampling.
+	SampleEvery int
+}
+
+// DefaultTracerConfig is sampled tracing tuned for the simulated SSDs:
+// every IO slower than 1ms is captured, plus a 1-in-64 baseline.
+func DefaultTracerConfig() TracerConfig {
+	return TracerConfig{Capacity: 8192, Mode: TraceSampled, SlowNs: 1_000_000, SampleEvery: 64}
+}
+
+// Tracer owns the span ring and the capture decision. Observe is called
+// once per completed IO from scheduler context; it allocates nothing
+// (traces travel by value) and in sampled mode skips the ring entirely
+// for fast, unsampled IOs — tail-biased sampling means every slow IO is
+// captured while steady-state traffic pays two atomic adds at most.
+type Tracer struct {
+	cfg   TracerConfig
+	ring  *TraceRing
+	seen  atomic.Uint64 // IOs offered to Observe
+	spans atomic.Uint64 // IOs captured; the last value is the newest span id
+}
+
+// NewTracer builds a tracer; zero config fields take their defaults.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultTracerConfig().Capacity
+	}
+	return &Tracer{cfg: cfg, ring: NewTraceRing(cfg.Capacity)}
+}
+
+// Config returns the tracer's configuration.
+func (t *Tracer) Config() TracerConfig { return t.cfg }
+
+// Ring returns the underlying trace ring (nil-safe).
+func (t *Tracer) Ring() *TraceRing {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// Seen returns the number of IOs offered to Observe.
+func (t *Tracer) Seen() uint64 { return t.seen.Load() }
+
+// Captured returns the number of IOs captured into the ring.
+func (t *Tracer) Captured() uint64 { return t.spans.Load() }
+
+// Sample records one observed IO and decides capture from its switch
+// residency (done − arrival) alone, so callers that sample first only
+// assemble the trace record for IOs that will actually be kept: the
+// unsampled hot path is one atomic add and two compares.
+func (t *Tracer) Sample(latNs int64) bool {
+	if t == nil || t.cfg.Mode == TraceOff {
+		return false
+	}
+	n := t.seen.Add(1)
+	if t.cfg.Mode == TraceFull {
+		return true
+	}
+	if t.cfg.SlowNs > 0 && latNs >= t.cfg.SlowNs {
+		return true
+	}
+	return t.cfg.SampleEvery > 0 && (n-1)%uint64(t.cfg.SampleEvery) == 0
+}
+
+// Capture appends a trace Sample approved and returns its span id
+// (1-based, monotone). The trace is passed by value so the caller's
+// record never escapes to the heap.
+func (t *Tracer) Capture(tr IOTrace) uint64 {
+	id := t.spans.Add(1)
+	tr.Span = id
+	t.ring.Append(tr)
+	return id
+}
+
+// Observe offers one completed IO to the tracer: Sample then, on
+// capture, Capture. Callers on a hot path should call the pair
+// themselves and only build the IOTrace when Sample says yes.
+func (t *Tracer) Observe(tr IOTrace) (uint64, bool) {
+	if !t.Sample(tr.Done - tr.Arrival) {
+		return 0, false
+	}
+	return t.Capture(tr), true
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerModes(t *testing.T) {
+	mk := func(mode TraceMode) *Tracer {
+		return NewTracer(TracerConfig{Capacity: 64, Mode: mode, SlowNs: 1000, SampleEvery: 10})
+	}
+
+	off := mk(TraceOff)
+	if _, ok := off.Observe(IOTrace{Done: 5000}); ok {
+		t.Fatal("off tracer captured")
+	}
+
+	full := mk(TraceFull)
+	for i := 0; i < 5; i++ {
+		if _, ok := full.Observe(IOTrace{Arrival: 0, Done: 1}); !ok {
+			t.Fatal("full tracer skipped")
+		}
+	}
+	if full.Captured() != 5 || full.Ring().Len() != 5 {
+		t.Fatalf("full captured=%d len=%d, want 5", full.Captured(), full.Ring().Len())
+	}
+
+	s := mk(TraceSampled)
+	// 100 fast IOs: the first plus every 10th → 10 captures.
+	for i := 0; i < 100; i++ {
+		s.Observe(IOTrace{Arrival: 0, Done: 10})
+	}
+	if s.Captured() != 10 {
+		t.Fatalf("sampled captured %d fast IOs, want 10", s.Captured())
+	}
+	// Slow IOs are always captured regardless of the sampling phase.
+	before := s.Captured()
+	for i := 0; i < 7; i++ {
+		if _, ok := s.Observe(IOTrace{Arrival: 0, Done: 1000}); !ok {
+			t.Fatal("sampled tracer skipped a slow IO")
+		}
+	}
+	if s.Captured() != before+7 {
+		t.Fatalf("slow captures = %d, want %d", s.Captured()-before, 7)
+	}
+	if s.Seen() != 107 {
+		t.Fatalf("seen = %d, want 107", s.Seen())
+	}
+}
+
+func TestTracerSpanIDsMonotone(t *testing.T) {
+	tr := NewTracer(TracerConfig{Capacity: 8, Mode: TraceFull})
+	for i := 1; i <= 5; i++ {
+		id, ok := tr.Observe(IOTrace{})
+		if !ok || id != uint64(i) {
+			t.Fatalf("span id = %d ok=%v, want %d", id, ok, i)
+		}
+	}
+	snap := tr.Ring().Snapshot()
+	if snap[0].Span != 1 || snap[4].Span != 5 {
+		t.Fatalf("ring spans = %d..%d, want 1..5", snap[0].Span, snap[4].Span)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if _, ok := tr.Observe(IOTrace{}); ok {
+		t.Fatal("nil tracer captured")
+	}
+	if tr.Ring() != nil {
+		t.Fatal("nil tracer has a ring")
+	}
+}
+
+func TestParseTraceMode(t *testing.T) {
+	for _, m := range []TraceMode{TraceOff, TraceSampled, TraceFull} {
+		got, err := ParseTraceMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round-trip %v: got %v err %v", m, got, err)
+		}
+	}
+	if _, err := ParseTraceMode("bogus"); err == nil {
+		t.Fatal("bogus mode parsed")
+	}
+}
+
+// TestTraceRingCapacityBoundary pins the wraparound contract at the exact
+// boundary: after precisely capacity appends the ring is full, nothing is
+// lost, and the snapshot is still oldest-first; one more append evicts
+// exactly the oldest entry.
+func TestTraceRingCapacityBoundary(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 4; i++ {
+		r.Append(IOTrace{Arrival: int64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len = %d, want 4", len(snap))
+	}
+	for i := range snap {
+		if snap[i].Arrival != int64(i) {
+			t.Fatalf("snap[%d].Arrival = %d, want %d (oldest-first)", i, snap[i].Arrival, i)
+		}
+	}
+	r.Append(IOTrace{Arrival: 4})
+	snap = r.Snapshot()
+	if snap[0].Arrival != 1 || snap[3].Arrival != 4 {
+		t.Fatalf("after eviction snap = %d..%d, want 1..4", snap[0].Arrival, snap[3].Arrival)
+	}
+	if r.Total() != 5 || r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("total=%d len=%d cap=%d, want 5/4/4", r.Total(), r.Len(), r.Cap())
+	}
+}
+
+func TestWriteJSONLFuncFilters(t *testing.T) {
+	r := NewTraceRing(8)
+	for i := 0; i < 6; i++ {
+		tn := "a"
+		if i%2 == 1 {
+			tn = "b"
+		}
+		r.Append(IOTrace{Tenant: tn, Arrival: int64(i), Done: int64(i) + 100})
+	}
+	var sb strings.Builder
+	if err := r.WriteJSONLFunc(&sb, func(t *IOTrace) bool { return t.Tenant == "b" }, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2 (filter + limit)", len(lines))
+	}
+	// Limit keeps the newest matches: arrivals 3 and 5.
+	if !strings.Contains(lines[0], `"arrival_ns":3`) || !strings.Contains(lines[1], `"arrival_ns":5`) {
+		t.Fatalf("unexpected tail: %q", lines)
+	}
+}
+
+func TestIOTracePhaseAccounting(t *testing.T) {
+	tr := IOTrace{
+		Origin: 100, Arrival: 150, Admit: 250, Submit: 300,
+		DevDone: 500, Done: 510, VslotNs: 60, GCNs: 120,
+	}
+	if got := tr.FabricDelay(); got != 50 {
+		t.Fatalf("fabric = %d", got)
+	}
+	if got := tr.QueueDelay(); got != 40 { // 100 gross − 60 vslot
+		t.Fatalf("queue = %d", got)
+	}
+	if got := tr.VslotWait(); got != 60 {
+		t.Fatalf("vslot = %d", got)
+	}
+	if got := tr.PacingStall(); got != 50 {
+		t.Fatalf("pacing = %d", got)
+	}
+	if got := tr.DeviceLatency(); got != 80 { // 200 gross − 120 gc
+		t.Fatalf("device = %d", got)
+	}
+	if got := tr.CompleteDelay(); got != 10 {
+		t.Fatalf("complete = %d", got)
+	}
+	if got := tr.Total(); got != 410 { // 360 residency + 50 fabric
+		t.Fatalf("total = %d", got)
+	}
+	// No transport in front: fabric contributes nothing.
+	tr.Origin = 0
+	if tr.FabricDelay() != 0 || tr.Total() != 360 {
+		t.Fatalf("origin-less fabric/total = %d/%d", tr.FabricDelay(), tr.Total())
+	}
+}

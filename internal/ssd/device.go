@@ -50,9 +50,22 @@ type Request struct {
 	// injection); timing fields are still populated.
 	MediaErr bool
 
+	// GCWait is the portion of the request's latency attributed to
+	// garbage collection, filled in alongside CompleteTime. For writes it
+	// is the buffer-admission wait (the buffer only backs up when
+	// programs stall behind GC fences); for reads it is the time the
+	// first NAND operation waited behind a GC suspend slice on its die —
+	// a lower-bound attribution, since the slice and the read share one
+	// FIFO timeline.
+	GCWait int64
+
 	// Tag is opaque to the device; upper layers use it to route
 	// completions (tenant, qpair, command id).
 	Tag any
+
+	// bufWaitSince stamps when a write entered the buffer-full wait
+	// queue (0 = never queued); admission converts it into GCWait.
+	bufWaitSince int64
 }
 
 // Latency returns the device-observed service time of a completed request.
@@ -128,6 +141,11 @@ type SSD struct {
 	// milliseconds.
 	gcFence []int64
 
+	// gcSliceUntil is the per-die end of the most recent GC suspend
+	// slice reserved on the shared die timeline; reads compare their
+	// start against it to attribute GC-induced wait (Request.GCWait).
+	gcSliceUntil []int64
+
 	// progBusy is the per-die program pipeline: program ops (and the GC
 	// fence) serialize here at full duration, while reads on the shared
 	// dieBusy timeline are charged only ProgramReadSlice per program
@@ -188,14 +206,15 @@ func New(sched sim.Scheduler, p Params) *SSD {
 		panic(err)
 	}
 	s := &SSD{
-		p:        p,
-		sched:    sched,
-		ftl:      newFTL(p),
-		dieBusy:  make([]int64, p.Dies()),
-		chanBusy: make([]int64, p.Channels),
-		gcFence:  make([]int64, p.Dies()),
-		progBusy: make([]int64, p.Dies()),
-		lastRow:  newRowCache(p.Dies()),
+		p:            p,
+		sched:        sched,
+		ftl:          newFTL(p),
+		dieBusy:      make([]int64, p.Dies()),
+		chanBusy:     make([]int64, p.Channels),
+		gcFence:      make([]int64, p.Dies()),
+		gcSliceUntil: make([]int64, p.Dies()),
+		progBusy:     make([]int64, p.Dies()),
+		lastRow:      newRowCache(p.Dies()),
 	}
 	s.buf.init(bufTableMinSize)
 	s.lingerFn = func() { s.pumpFlush(true) }
@@ -229,6 +248,7 @@ func (s *SSD) Submit(r *Request) {
 		panic(err)
 	}
 	r.SubmitTime = s.sched.Now()
+	r.GCWait, r.bufWaitSince = 0, 0
 	if s.inService >= s.p.InternalQD {
 		s.waitQ = append(s.waitQ, r)
 		return
@@ -396,21 +416,32 @@ func (s *SSD) startRead(r *Request) {
 		}
 		s.addReadRow(phys/uint32(s.p.ProgramPages), s.ftl.dieOfPhys(phys))
 	}
+	var gcWait int64
 	for _, rw := range s.readRows {
 		ch := s.ftl.channelOfDie(rw.die)
-		var dieEnd int64
+		var dieStart, dieEnd int64
 		if s.lastRow[rw.die] == rw.id {
 			// Register hit: the row is already latched; only transfer.
 			dieEnd = max64(now, s.dieBusy[rw.die])
+			dieStart = dieEnd
 		} else {
-			_, dieEnd = reserve(&s.dieBusy[rw.die], now, s.p.ReadLatency)
+			dieStart, dieEnd = reserve(&s.dieBusy[rw.die], now, s.p.ReadLatency)
 			s.lastRow[rw.die] = rw.id
+		}
+		// GC attribution: the wait up to the end of the die's most recent
+		// GC suspend slice was GC-induced (the remainder is ordinary die
+		// contention). The request reports its worst row.
+		if until := s.gcSliceUntil[rw.die]; until > now {
+			if w := min64(dieStart, until) - now; w > gcWait {
+				gcWait = w
+			}
 		}
 		_, xferEnd := reserve(&s.chanBusy[ch], dieEnd, s.p.XferTime(rw.count*s.p.PageSize))
 		if xferEnd > latest {
 			latest = xferEnd
 		}
 	}
+	r.GCWait = gcWait
 	s.stats.ReadBytes += int64(r.Size)
 	s.stats.ReadOps++
 	s.completeAt(r, latest)
@@ -421,6 +452,7 @@ func (s *SSD) startRead(r *Request) {
 // program work.
 func (s *SSD) startWrite(r *Request) {
 	if s.bufOccupancy+int64(r.Size) > s.p.WriteBufBytes {
+		r.bufWaitSince = s.sched.Now()
 		s.bufWaitQ = append(s.bufWaitQ, r)
 		return
 	}
@@ -429,6 +461,10 @@ func (s *SSD) startWrite(r *Request) {
 
 func (s *SSD) admitWrite(r *Request) {
 	now := s.sched.Now()
+	if r.bufWaitSince != 0 {
+		r.GCWait = now - r.bufWaitSince
+		r.bufWaitSince = 0
+	}
 	s.bufOccupancy += int64(r.Size)
 	s.stats.WriteBytes += int64(r.Size)
 	s.stats.WriteOps++
@@ -526,7 +562,8 @@ func (s *SSD) programBatch(batch []uint32) {
 		fenceStart := max64(now, s.gcFence[die])
 		s.gcFence[die] = fenceStart + gcCost
 		if slice := min64(gcCost, s.gcSlice()); slice > 0 {
-			reserve(&s.dieBusy[die], now, slice)
+			_, sliceEnd := reserve(&s.dieBusy[die], now, slice)
+			s.gcSliceUntil[die] = sliceEnd
 		}
 	}
 	// Programming clobbers the die's page register.
