@@ -5,6 +5,11 @@
 //
 //	gimbald -listen 127.0.0.1:4420 -ssds 4 -scheme gimbal -cond fragmented
 //
+// The live datapath is sharded into per-SSD reactors by default: -reactors
+// picks the shard count (-1 = min(GOMAXPROCS, ssds); 0 = the legacy
+// single-lock datapath), and SSD i runs on shard i%R. See DESIGN.md §4.1
+// "live reactor datapath".
+//
 // A second listener (-admin, default 127.0.0.1:9420) serves the
 // observability endpoint:
 //
@@ -13,6 +18,7 @@
 //	/trace          captured per-IO lifecycle spans, JSONL; filter with
 //	                ?tenant= ?phase= ?n=
 //	/slo            per-tenant SLO attainment, burn rates, correlated events
+//	/reactors       shard → SSD mapping and per-reactor capsule counts
 //	/debug/pprof/   the standard Go profiler
 //
 // Span capture policy is -trace-mode: "sampled" (default) captures every
@@ -38,6 +44,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,6 +61,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:4420", "listen address")
 		admin     = flag.String("admin", "127.0.0.1:9420", "observability endpoint address (empty disables)")
 		ssds      = flag.Int("ssds", 4, "number of simulated SSDs")
+		reactors  = flag.Int("reactors", -1, "per-SSD reactor shards: -1 auto (min(GOMAXPROCS, ssds)), 0 legacy single-lock datapath, N explicit")
 		scheme    = flag.String("scheme", "gimbal", "scheduler: gimbal|vanilla|reflex|flashfq|parda")
 		cond      = flag.String("cond", "clean", "precondition: fresh|clean|fragmented")
 		capacity  = flag.Int64("capacity", 2<<30, "per-SSD usable bytes")
@@ -85,7 +93,34 @@ func main() {
 		log.Fatalf("unknown condition %q", *cond)
 	}
 
-	rs := sim.NewRealScheduler()
+	// Datapath layout: R == 0 keeps the legacy single-lock RealScheduler;
+	// R >= 1 shards the target into per-SSD reactors (SSD i on shard i%R)
+	// with the lock-free ring datapath of internal/fabric/reactor.go.
+	R := *reactors
+	if R < 0 {
+		R = runtime.GOMAXPROCS(0)
+	}
+	if R > *ssds {
+		R = *ssds
+	}
+	var (
+		rs     *sim.RealScheduler
+		shards *sim.RealShards
+		lc     fabric.LockedClock
+	)
+	if R == 0 {
+		rs = sim.NewRealScheduler()
+		lc = rs
+	} else {
+		shards = sim.NewRealShards(R)
+		lc = shards
+	}
+	clkFor := func(i int) sim.Scheduler {
+		if R == 0 {
+			return rs
+		}
+		return shards.Shard(i % R)
+	}
 	rng := sim.NewRNG(uint64(os.Getpid()))
 	var devs []ssd.Device
 	var ssdModels []*ssd.SSD
@@ -93,15 +128,20 @@ func main() {
 	for i := 0; i < *ssds; i++ {
 		p := ssd.DCT983()
 		p.UsableBytes = *capacity
-		d := ssd.New(rs, p)
+		d := ssd.New(clkFor(i), p)
 		log.Printf("preconditioning ssd %d (%s, %s)...", i, p.Name, condition)
 		d.Precondition(condition, rng.Fork())
-		w := fault.Wrap(rs, d)
+		w := fault.Wrap(clkFor(i), d)
 		devs = append(devs, w)
 		ssdModels = append(ssdModels, d)
 		wraps = append(wraps, w)
 	}
-	target := fabric.NewTarget(rs, devs, fabric.DefaultTargetConfig(sch))
+	var target *fabric.Target
+	if R == 0 {
+		target = fabric.NewTarget(rs, devs, fabric.DefaultTargetConfig(sch))
+	} else {
+		target = fabric.NewReactorTarget(shards, devs, fabric.DefaultTargetConfig(sch))
+	}
 	if *recovery && sch == fabric.SchemeGimbal {
 		for i := 0; i < *ssds; i++ {
 			if g := target.Pipeline(i).Gimbal; g != nil {
@@ -116,8 +156,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// In legacy mode the one registry holds every pipeline's instruments
+	// and gathers under the one scheduler lock. In reactor mode the hub
+	// registry keeps only atomic transport gauges (no GatherLock needed)
+	// and each reactor gets its own shard registry gathered under that
+	// shard's lock; /metrics joins them through an obs.Group, so a scrape
+	// serializes with at most one reactor at a time.
 	reg := obs.NewRegistry()
-	reg.GatherLock = rs
+	var shardRegs []*obs.Registry
+	var mw fabric.MetricsWriter = reg
+	var group *obs.Group
+	if R == 0 {
+		reg.GatherLock = rs
+	} else {
+		shardRegs = make([]*obs.Registry, R)
+		members := []*obs.Registry{reg}
+		for j := 0; j < R; j++ {
+			shardRegs[j] = obs.NewRegistry()
+			shardRegs[j].GatherLock = shards.Shard(j)
+			members = append(members, shardRegs[j])
+		}
+		group = obs.NewGroup(members...)
+		mw = group
+	}
 	hub := obs.NewHub(reg)
 	if *traceCap > 0 && mode != obs.TraceOff {
 		hub.Tracer = obs.NewTracer(obs.TracerConfig{
@@ -140,33 +201,87 @@ func main() {
 		if err != nil {
 			log.Fatalf("fault plan: %v", err)
 		}
-		eng := fault.NewEngine(rs, wraps)
-		eng.Stall = func(ssdIdx, die int, dur int64) error {
-			return ssdModels[ssdIdx].InjectDieStall(die, dur)
+		// An engine schedules injections on one scheduler, and a device may
+		// only be mutated from its own shard's context — so the plan is
+		// partitioned per shard (event for SSD i → engine on shard i%R).
+		// Legacy mode degenerates to one engine with the whole plan.
+		engines := 1
+		if R > 0 {
+			engines = R
 		}
-		eng.OnEvent = func(ev fault.Event, active bool) {
-			hub.Events.Append(rs.Now(), ev.Kind.String(), fmt.Sprintf("ssd=%d", ev.SSD), active)
+		armed := 0
+		for j := 0; j < engines; j++ {
+			clk := clkFor(j)
+			sub := &fault.Plan{Seed: plan.Seed}
+			for _, ev := range plan.Events {
+				if R == 0 || ev.SSD%R == j {
+					sub.Events = append(sub.Events, ev)
+				}
+			}
+			if len(sub.Events) == 0 {
+				continue
+			}
+			eng := fault.NewEngine(clk, wraps)
+			eng.Stall = func(ssdIdx, die int, dur int64) error {
+				return ssdModels[ssdIdx].InjectDieStall(die, dur)
+			}
+			eng.OnEvent = func(ev fault.Event, active bool) {
+				hub.Events.Append(lc.Now(), ev.Kind.String(), fmt.Sprintf("ssd=%d", ev.SSD), active)
+			}
+			if err := eng.Arm(sub); err != nil {
+				log.Fatalf("fault plan: %v", err)
+			}
+			armed += eng.Armed
 		}
-		if err := eng.Arm(plan); err != nil {
-			log.Fatalf("fault plan: %v", err)
-		}
-		log.Printf("armed %d fault events from %s", eng.Armed, *faults)
+		log.Printf("armed %d fault events from %s", armed, *faults)
 	}
 
-	rs.Lock()
-	target.AttachObs(hub)
-	rs.Unlock()
+	lc.Lock()
+	if R == 0 {
+		target.AttachObs(hub)
+	} else {
+		pregs := make([]*obs.Registry, *ssds)
+		for i := range pregs {
+			pregs[i] = shardRegs[i%R]
+		}
+		target.AttachObsSharded(hub, pregs)
+	}
+	lc.Unlock()
 	ring := hub.Ring()
 
-	srv, err := fabric.ServeTCP(rs, target, *listen)
-	if err != nil {
-		log.Fatal(err)
+	var srv interface {
+		Addr() string
+		Shutdown(timeout time.Duration) error
 	}
-	srv.AttachObs(reg)
+	var rsrv *fabric.TCPReactors
+	if R == 0 {
+		s, err := fabric.ServeTCP(rs, target, *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.AttachObs(reg)
+		srv = s
+	} else {
+		s, err := fabric.ServeTCPReactors(shards, target, *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.AttachObs(hub, shardRegs)
+		srv = s
+		rsrv = s
+	}
 
 	var adminSrv *http.Server
 	if *admin != "" {
-		mux := fabric.AdminMux(rs, target, hub)
+		mux := fabric.AdminMuxMetrics(lc, target, hub, mw)
+		if rsrv != nil {
+			mux.HandleFunc("/reactors", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(rsrv.ReactorStats())
+			})
+		}
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -180,8 +295,13 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("gimbald: %d x %s SSDs (%s) behind %q scheme, listening on %s\n",
-		*ssds, condition, byteSize(*capacity), sch, srv.Addr())
+	if R == 0 {
+		fmt.Printf("gimbald: %d x %s SSDs (%s) behind %q scheme, listening on %s (single-lock datapath)\n",
+			*ssds, condition, byteSize(*capacity), sch, srv.Addr())
+	} else {
+		fmt.Printf("gimbald: %d x %s SSDs (%s) behind %q scheme, listening on %s (%d reactor shards)\n",
+			*ssds, condition, byteSize(*capacity), sch, srv.Addr(), R)
+	}
 	if *admin != "" {
 		fmt.Printf("gimbald: observability on http://%s (/metrics /stats /trace /slo /debug/pprof)\n", *admin)
 	}
@@ -201,13 +321,17 @@ func main() {
 
 	// Final telemetry snapshot so a scrape gap around shutdown loses
 	// nothing: per-tenant totals and the registry, one JSON line each.
-	rs.Lock()
+	lc.Lock()
 	stats := target.StatsSnapshot()
-	rs.Unlock()
+	lc.Unlock()
 	if b, err := json.Marshal(stats); err == nil {
 		log.Printf("final stats: %s", b)
 	}
-	if b, err := json.Marshal(reg.Snapshot()); err == nil {
+	snap := reg.Snapshot()
+	if group != nil {
+		snap = group.Snapshot()
+	}
+	if b, err := json.Marshal(snap); err == nil {
 		log.Printf("final metrics: %s", b)
 	}
 	if ring != nil {

@@ -13,13 +13,24 @@ import (
 type Scheduler struct {
 	sub *nvme.Submitter
 
+	// doneFn is the completion callback, bound once so Enqueue builds no
+	// per-IO closure (the submit path stays allocation-free).
+	doneFn func(*nvme.IO)
+
 	Submits     int64
 	Completions int64
 }
 
 // New returns a pass-through scheduler over dev.
 func New(clk sim.Scheduler, dev ssd.Device) *Scheduler {
-	return &Scheduler{sub: nvme.NewSubmitter(clk, dev)}
+	s := &Scheduler{sub: nvme.NewSubmitter(clk, dev)}
+	s.doneFn = s.complete
+	return s
+}
+
+func (s *Scheduler) complete(io *nvme.IO) {
+	s.Completions++
+	io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io)})
 }
 
 // Name implements nvme.Scheduler.
@@ -40,8 +51,5 @@ func (s *Scheduler) Enqueue(io *nvme.IO) {
 	}
 	io.Arrival = s.sub.Sched.Now()
 	s.Submits++
-	s.sub.Submit(io, func(io *nvme.IO) {
-		s.Completions++
-		io.Done(io, nvme.Completion{Status: nvme.CompletionStatus(io)})
-	})
+	s.sub.Submit(io, s.doneFn)
 }

@@ -2,11 +2,12 @@ package fabric
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"gimbal/internal/obs"
-	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
 	"gimbal/internal/stats"
 )
@@ -67,7 +68,8 @@ type TargetStats struct {
 }
 
 // StatsSnapshot builds the live telemetry snapshot. Call in scheduler
-// context (the admin handler takes the RealScheduler lock).
+// context (the admin handler takes the RealScheduler lock, or every shard
+// lock on a sharded target).
 func (t *Target) StatsSnapshot() *TargetStats {
 	now := t.clk.Now()
 	out := &TargetStats{NowNs: now, Scheme: t.cfg.Scheme.String()}
@@ -101,11 +103,8 @@ func (t *Target) StatsSnapshot() *TargetStats {
 			}
 		}
 		var ssdBW []float64
-		if t.obs != nil {
-			for _, to := range t.obs.order {
-				if to.ssd != i {
-					continue
-				}
+		if t.obs != nil && p.pobs != nil {
+			for _, to := range p.pobs.order {
 				row := TenantStats{
 					Tenant: to.tenant.Name,
 					SSD:    i,
@@ -154,11 +153,33 @@ func (t *Target) StatsSnapshot() *TargetStats {
 // The caller mounts pprof and serves the mux (cmd/gimbald does both).
 // hub.Reg should have GatherLock set to rs so scrapes serialize with the
 // pipelines.
-func AdminMux(rs *sim.RealScheduler, target *Target, hub *obs.Hub) *http.ServeMux {
+func AdminMux(rs LockedClock, target *Target, hub *obs.Hub) *http.ServeMux {
+	return AdminMuxMetrics(rs, target, hub, hub.Reg)
+}
+
+// LockedClock is the serialization-plus-clock surface admin snapshots
+// need: a single RealScheduler (one-lock target) or RealShards (the
+// sharded reactor target, whose Lock takes every shard in order).
+type LockedClock interface {
+	sync.Locker
+	Now() int64
+}
+
+// MetricsWriter renders Prometheus text exposition: a single
+// obs.Registry, or an obs.Group joining per-reactor registry shards.
+type MetricsWriter interface {
+	WritePrometheus(w io.Writer) error
+}
+
+// AdminMuxMetrics is AdminMux with an explicit /metrics source, for the
+// sharded target whose scrape joins per-reactor registries at gather time
+// (each under its own shard lock — a scrape never stops the whole
+// datapath).
+func AdminMuxMetrics(rs LockedClock, target *Target, hub *obs.Hub, mw MetricsWriter) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = hub.Reg.WritePrometheus(w)
+		_ = mw.WritePrometheus(w)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		rs.Lock()

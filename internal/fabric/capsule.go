@@ -27,6 +27,14 @@ const (
 	rspHeaderLen = 1 + 2 + 2 + 4 + 4
 )
 
+// CommandWireLen returns the encoded size of a command capsule carrying
+// dataLen inline payload bytes, excluding the 4-byte frame prefix. Raw
+// clients (benchmarks, smoke tests) use it to prebuild frames.
+func CommandWireLen(dataLen int) int { return cmdHeaderLen + dataLen }
+
+// ResponseWireLen is CommandWireLen's response-side counterpart.
+func ResponseWireLen(dataLen int) int { return rspHeaderLen + dataLen }
+
 // CommandCapsule is the initiator→target message: the NVMe submission
 // queue entry fields this system uses, plus an optional inline data
 // payload for writes (§2.1's inline-data optimization; the loopback

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"gimbal/internal/nvme"
+)
+
+// appendWireFrame frames a payload the way a sender does.
+func appendWireFrame(wire, payload []byte) []byte {
+	wire = binary.BigEndian.AppendUint32(wire, uint32(len(payload)))
+	return append(wire, payload...)
+}
+
+func TestReadFrameIntoScratchReuse(t *testing.T) {
+	small := bytes.Repeat([]byte{0xab}, 512)
+	large := bytes.Repeat([]byte{0xcd}, 4096)
+	var wire []byte
+	wire = appendWireFrame(wire, small)
+	wire = appendWireFrame(wire, small)
+	wire = appendWireFrame(wire, large)
+	r := bufio.NewReader(bytes.NewReader(wire))
+
+	scratch := make([]byte, 1024)
+	f1, err := readFrameInto(r, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != 512 || &f1[0] != &scratch[0] {
+		t.Fatal("first frame did not reuse the scratch buffer")
+	}
+	f2, err := readFrameInto(r, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &f2[0] != &scratch[0] {
+		t.Fatal("second frame did not reuse the recycled scratch")
+	}
+	if !bytes.Equal(f2, small) {
+		t.Fatal("second frame corrupted")
+	}
+	// A frame larger than the scratch capacity must get a fresh buffer.
+	f3, err := readFrameInto(r, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3) != 4096 {
+		t.Fatalf("third frame length %d, want 4096", len(f3))
+	}
+	if &f3[0] == &scratch[0] {
+		t.Fatal("oversized frame aliased the too-small scratch")
+	}
+	if !bytes.Equal(f3, large) {
+		t.Fatal("third frame corrupted")
+	}
+}
+
+func TestReadFrameOversizedRejected(t *testing.T) {
+	var wire []byte
+	wire = binary.BigEndian.AppendUint32(wire, maxFrame+1)
+	wire = append(wire, 0xff) // truncated body; the length check fires first
+	if _, err := readFrameInto(bufio.NewReader(bytes.NewReader(wire)), nil); err == nil {
+		t.Fatal("frame over maxFrame accepted")
+	}
+}
+
+func TestFrameBufSealSingleWrite(t *testing.T) {
+	frame := getFrame()
+	rsp := &ResponseCapsule{CID: 7, Status: nvme.StatusOK, Credit: 9, Data: []byte{1, 2, 3}}
+	frame.b = AppendResponse(frame.b, rsp)
+	frame.seal()
+	// The sealed buffer is one complete wire frame: prefix + capsule.
+	if got := binary.BigEndian.Uint32(frame.b[:4]); int(got) != len(frame.b)-4 {
+		t.Fatalf("length prefix %d, want %d", got, len(frame.b)-4)
+	}
+	dec, n, err := DecodeResponse(frame.b[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame.b)-4 {
+		t.Fatalf("decode consumed %d, want %d", n, len(frame.b)-4)
+	}
+	if dec.CID != 7 || dec.Credit != 9 || !bytes.Equal(dec.Data, []byte{1, 2, 3}) {
+		t.Fatalf("roundtrip mismatch: %+v", dec)
+	}
+	// A recycled frame re-reserves the prefix.
+	putFrame(frame)
+	again := getFrame()
+	if len(again.b) != 4 {
+		t.Fatalf("recycled frame starts at %d bytes, want 4 (reserved prefix)", len(again.b))
+	}
+	putFrame(again)
+}
+
+func TestAppendZeroResponseMatchesEncoder(t *testing.T) {
+	got := appendZeroResponse(nil, 42, nvme.StatusOK, 17, 8192)
+	want := AppendResponse(
+		binary.BigEndian.AppendUint32(nil, uint32(rspHeaderLen+8192)),
+		&ResponseCapsule{CID: 42, Status: nvme.StatusOK, Credit: 17, Data: make([]byte, 8192)},
+	)
+	if !bytes.Equal(got, want) {
+		t.Fatal("appendZeroResponse disagrees with AppendResponse")
+	}
+}

@@ -21,68 +21,108 @@ type tenantObs struct {
 	tenant *nvme.Tenant
 }
 
-// targetObs indexes tenant accounting for StatsSnapshot and the registry.
-type targetObs struct {
+// pipeObs is one pipeline's tenant accounting. It is only ever touched in
+// the pipeline's scheduler context (registration happens under Register,
+// completions under the pipeline's completion path), so sharded pipelines
+// keep shared-nothing telemetry state: no cross-shard map or lock.
+type pipeObs struct {
+	// reg receives this pipeline's instruments. In sharded live mode it is
+	// the owning reactor's registry (gathered under that shard's lock); in
+	// the simulator every pipeline shares the hub registry.
 	reg     *obs.Registry
-	slo     *obs.SLOEngine
 	tenants map[*nvme.Tenant]*tenantObs
 	order   []*tenantObs
+}
+
+// targetObs holds the target-wide observability attachments.
+type targetObs struct {
+	slo *obs.SLOEngine
 }
 
 // AttachObs registers the target's pipelines into the hub: switch and
 // device instruments per SSD, per-tenant completion counters (created
 // lazily as tenants register), and — when the hub carries them — the span
 // tracer, SLO engine, and recovery event log. Call before traffic; tenants
-// that registered earlier are picked up retroactively.
+// that registered earlier are picked up retroactively. Every pipeline's
+// instruments land in the hub registry.
 func (t *Target) AttachObs(h *obs.Hub) {
-	t.obs = &targetObs{reg: h.Reg, slo: h.SLO, tenants: map[*nvme.Tenant]*tenantObs{}}
+	t.attachObs(h, nil)
+}
+
+// AttachObsSharded is AttachObs for the sharded live target: pipeline i's
+// instruments (switch histograms, device gauges, per-tenant counters) are
+// registered into regs[i], whose GatherLock must be pipeline i's scheduler
+// shard — so a /metrics scrape of one reactor's instruments serializes
+// only with that reactor, never with the others. A nil regs[i] falls back
+// to the hub registry. The hub's tracer, SLO engine, and event log are
+// shared sinks (internally synchronized) and are attached to every
+// pipeline.
+func (t *Target) AttachObsSharded(h *obs.Hub, regs []*obs.Registry) {
+	if len(regs) != len(t.pipes) {
+		panic("fabric: AttachObsSharded needs one registry per pipeline")
+	}
+	t.attachObs(h, regs)
+}
+
+func (t *Target) attachObs(h *obs.Hub, regs []*obs.Registry) {
+	t.obs = &targetObs{slo: h.SLO}
 	for i, p := range t.pipes {
+		reg := h.Reg
+		if regs != nil && regs[i] != nil {
+			reg = regs[i]
+		}
+		p.pobs = &pipeObs{reg: reg, tenants: map[*nvme.Tenant]*tenantObs{}}
 		if p.Gimbal != nil {
-			p.Gimbal.AttachObs(h, i)
+			ph := *h
+			ph.Reg = reg
+			p.Gimbal.AttachObs(&ph, i)
 		}
 		if dev, ok := p.Dev.(*ssd.SSD); ok {
-			dev.AttachObs(h.Reg, i)
+			dev.AttachObs(reg, i)
 		}
 		for _, tn := range p.tenants {
 			t.observeTenant(i, tn)
 		}
+		reg.Help("tenant_completed_bytes_total", "bytes completed per tenant")
+		reg.Help("tenant_credit", "virtual-slot credit currently granted to the tenant")
 	}
-	h.Reg.Help("tenant_completed_bytes_total", "bytes completed per tenant")
-	h.Reg.Help("tenant_credit", "virtual-slot credit currently granted to the tenant")
 }
 
-// observeTenant creates the per-tenant instruments (idempotent).
+// observeTenant creates the per-tenant instruments (idempotent). Runs in
+// the pipeline's scheduler context.
 func (t *Target) observeTenant(ssdIdx int, tn *nvme.Tenant) {
 	if t.obs == nil {
 		return
 	}
-	if _, ok := t.obs.tenants[tn]; ok {
+	p := t.pipes[ssdIdx]
+	po := p.pobs
+	if _, ok := po.tenants[tn]; ok {
 		return
 	}
 	lb := obs.L("ssd", strconv.Itoa(ssdIdx), "tenant", tn.Name)
 	to := &tenantObs{
-		bytes:  t.obs.reg.Counter("tenant_completed_bytes_total", lb),
-		ops:    t.obs.reg.Counter("tenant_completed_ops_total", lb),
-		errors: t.obs.reg.Counter("tenant_errors_total", lb),
-		since:  t.clk.Now(),
+		bytes:  po.reg.Counter("tenant_completed_bytes_total", lb),
+		ops:    po.reg.Counter("tenant_completed_ops_total", lb),
+		errors: po.reg.Counter("tenant_errors_total", lb),
+		since:  p.clk.Now(),
 		ssd:    ssdIdx,
 		tenant: tn,
 	}
 	if t.obs.slo != nil {
 		to.slo = t.obs.slo.Tenant(tn.Name)
 	}
-	t.obs.tenants[tn] = to
-	t.obs.order = append(t.obs.order, to)
-	if sw := t.pipes[ssdIdx].Gimbal; sw != nil {
-		t.obs.reg.GaugeFunc("tenant_credit", lb, func() float64 { return float64(sw.Credit(tn)) })
+	po.tenants[tn] = to
+	po.order = append(po.order, to)
+	if sw := p.Gimbal; sw != nil {
+		po.reg.GaugeFunc("tenant_credit", lb, func() float64 { return float64(sw.Credit(tn)) })
 	}
 }
 
 // onCompletion feeds the per-tenant counters and the SLO engine (the
 // caller nil-checks targetObs). Latency is end-to-end when the IO carries
 // a client-side Origin stamp, target-side otherwise.
-func (o *targetObs) onCompletion(now int64, io *nvme.IO, cpl nvme.Completion) {
-	to, ok := o.tenants[io.Tenant]
+func (o *targetObs) onCompletion(p *Pipeline, now int64, io *nvme.IO, cpl nvme.Completion) {
+	to, ok := p.pobs.tenants[io.Tenant]
 	if !ok {
 		return
 	}

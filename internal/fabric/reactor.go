@@ -1,0 +1,729 @@
+package fabric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gimbal/internal/nvme"
+	"gimbal/internal/obs"
+	"gimbal/internal/sim"
+	"gimbal/internal/ssd"
+)
+
+// This file is the live reactor datapath (DESIGN.md §4.1): the sharded
+// alternative to ServeTCP's single-lock target. Each SSD pipeline runs on
+// one RealScheduler shard owned by one reactor goroutine — shared-nothing,
+// like the per-SSD SPDK reactors of the paper's Stingray prototype — and
+// bounded SPSC rings carry work between the transport goroutines:
+//
+//	conn reader ──cmd ring──▶ reactor (shard j) ──cpl ring──▶ conn writer
+//	     ▲                                                        │
+//	     └───────────────────── free ring ◀───────────────────────┘
+//
+// A connection owns a fixed pool of connSlots ioSlots cycling through
+// those rings; every ring holds connSlots entries, so no push can ever
+// fail and the slot pool doubles as end-to-end flow control: a client
+// pipelining more than connSlots commands stalls the reader until
+// responses drain. All three stages batch — readers stage up to readBatch
+// decoded frames per ring publish, reactors submit popped batches under
+// one shard-lock acquisition, writers coalesce response frames into one
+// writev — so per-IO cost amortizes syscalls, atomics, and futex wakeups.
+// The steady-state wall-clock path allocates nothing per IO.
+
+const (
+	// readBatch caps the frames a connection reader stages before
+	// publishing to the command rings and ringing the reactor doorbells.
+	readBatch = 64
+	// submitBatch caps the commands a reactor submits per shard-lock
+	// acquisition (also bounding the latency it adds to timer callbacks
+	// contending for the same shard).
+	submitBatch = 64
+	// writeBatch is the writer's per-ring drain stride; a writev gathers
+	// everything drained in one pass.
+	writeBatch = 64
+	// connSlots is the per-connection IO slot pool: the pipelining depth a
+	// single session can keep in flight inside the target.
+	connSlots = 512
+)
+
+// zeroSlab backs read-response payloads. The simulated SSD stores no
+// data, so responses carry zeroes; appending slab chunks into the
+// response frame keeps realistic wire volume without per-IO allocation.
+var zeroSlab [64 << 10]byte
+
+// appendZeroResponse appends one sealed response frame — length prefix,
+// response capsule header, dataLen zero bytes — onto buf and returns it.
+func appendZeroResponse(buf []byte, cid uint16, st nvme.Status, credit uint32, dataLen int) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rspHeaderLen+dataLen))
+	buf = append(buf, capResponse)
+	buf = binary.BigEndian.AppendUint16(buf, cid)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(st))
+	buf = binary.BigEndian.AppendUint32(buf, credit)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(dataLen))
+	for dataLen > 0 {
+		n := dataLen
+		if n > len(zeroSlab) {
+			n = len(zeroSlab)
+		}
+		buf = append(buf, zeroSlab[:n]...)
+		dataLen -= n
+	}
+	return buf
+}
+
+// fullFrameBuffered reports whether the reader's buffer already holds one
+// complete frame. The reader keeps batching while this holds and flushes
+// its staged commands before any read that could block — otherwise a
+// client waiting for responses to its staged commands would deadlock
+// against a reader waiting for the rest of a frame.
+func fullFrameBuffered(r *bufio.Reader) bool {
+	if r.Buffered() < 4 {
+		return false
+	}
+	p, err := r.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(p)
+	return n <= maxFrame && r.Buffered() >= 4+int(n)
+}
+
+// ioSlot carries one command through the reactor datapath. The embedded
+// capsule, IO, and response buffer are reused across cycles, and doneFn
+// is bound once, so a slot's steady-state trip allocates nothing.
+type ioSlot struct {
+	conn *rconn
+	cond *conduit
+	cmd  CommandCapsule
+	io   nvme.IO
+	out  []byte // sealed response frame: length prefix + capsule (+ zero payload)
+
+	cid      uint16
+	wantData bool
+	size     int
+
+	doneFn func(*nvme.IO, nvme.Completion)
+}
+
+// conduit is the ring pair of one (connection, reactor) edge, created
+// lazily by the reader on the first command routed to that reactor.
+type conduit struct {
+	conn *rconn
+	r    *reactor
+
+	cmd *spsc[*ioSlot] // reader → reactor: decoded commands
+	cpl *spsc[*ioSlot] // shard context → writer: sealed responses
+
+	// tenants maps NSID → tenant for this connection's namespaces owned
+	// by this reactor; touched only under the reactor's shard lock.
+	tenants map[uint8]*nvme.Tenant
+
+	// staged is the reader's unpublished batch (reader-owned).
+	staged []*ioSlot
+
+	// dead marks the conduit for retirement; the owning reactor drains
+	// and deregisters it from its own goroutine, keeping the cmd ring
+	// single-consumer to the end.
+	dead atomic.Bool
+}
+
+// reactor owns one RealScheduler shard and every pipeline built on it
+// (SSDs i with i % R == idx). It is the only goroutine that takes its
+// shard lock on the submit path; completions ride the same lock from
+// device timer context.
+type reactor struct {
+	idx   int
+	srv   *TCPReactors
+	shard *sim.RealScheduler
+	wake  *waker
+	stop  atomic.Bool
+
+	mu    sync.Mutex                 // serializes conduit-list rewrites
+	conds atomic.Pointer[[]*conduit] // copy-on-write list the loop iterates
+
+	rx, tx atomic.Int64 // capsules in / responses out, for /reactors and metrics
+}
+
+// rconn is one live connection: a reader goroutine, a writer goroutine,
+// the free-slot ring between them, and the conduits to each reactor.
+type rconn struct {
+	srv  *TCPReactors
+	conn net.Conn
+
+	free  *spsc[*ioSlot] // writer → reader: recycled slots
+	rWake *waker         // reader's doorbell (free slots returned)
+	wWake *waker         // writer's doorbell (completions published)
+
+	conds     atomic.Pointer[[]*conduit] // writer-visible conduit list
+	byReactor []*conduit                 // reader-owned index by reactor
+
+	outstanding atomic.Int64 // slots taken from free and not yet returned
+	readerDone  atomic.Bool
+	readerExit  chan struct{}
+}
+
+// TCPReactors serves a sharded Target over TCP with per-SSD reactors. It
+// is the multi-core sibling of TCPTarget: same wire protocol, same tenant
+// bootstrap, but ingress for SSD i runs on shard i%R under that shard's
+// lock only.
+type TCPReactors struct {
+	shards *sim.RealShards
+	target *Target
+	ln     net.Listener
+	rs     []*reactor
+
+	wg      sync.WaitGroup // accept loop + per-connection goroutines
+	rwg     sync.WaitGroup // reactor goroutines
+	closed  atomic.Bool
+	closing atomic.Bool
+
+	tenantID atomic.Int64
+
+	connMu   sync.Mutex
+	conns    map[*rconn]struct{}
+	sessions atomic.Int64
+	inflight atomic.Int64
+}
+
+// NewReactorTarget builds a Target whose pipeline i runs on shard i%N —
+// the layout ServeTCPReactors requires.
+func NewReactorTarget(shards *sim.RealShards, devs []ssd.Device, cfg TargetConfig) *Target {
+	clks := make([]sim.Scheduler, len(devs))
+	for i := range clks {
+		clks[i] = shards.Shard(i % shards.N())
+	}
+	return NewShardedTarget(clks, devs, cfg)
+}
+
+// ServeTCPReactors starts the sharded datapath on addr: one reactor
+// goroutine per shard, then the accept loop. The target must map pipeline
+// i onto shards.Shard(i % shards.N()) (NewReactorTarget does).
+func ServeTCPReactors(shards *sim.RealShards, target *Target, addr string) (*TCPReactors, error) {
+	for i := 0; i < target.SSDs(); i++ {
+		if target.Pipeline(i).Clock() != shards.Shard(i%shards.N()) {
+			return nil, fmt.Errorf("fabric: pipeline %d not built on shard %d (use NewReactorTarget)", i, i%shards.N())
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPReactors{shards: shards, target: target, ln: ln, conns: map[*rconn]struct{}{}}
+	for j := 0; j < shards.N(); j++ {
+		r := &reactor{idx: j, srv: t, shard: shards.Shard(j), wake: newWaker()}
+		r.conds.Store(&[]*conduit{})
+		t.rs = append(t.rs, r)
+		t.rwg.Add(1)
+		go r.run()
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listening address.
+func (t *TCPReactors) Addr() string { return t.ln.Addr().String() }
+
+// Reactors returns the shard count.
+func (t *TCPReactors) Reactors() int { return len(t.rs) }
+
+// Inflight returns the number of commands currently inside the target.
+func (t *TCPReactors) Inflight() int64 { return t.inflight.Load() }
+
+// AttachObs registers the transport's telemetry. regs[j], when provided
+// and non-nil, receives reactor j's capsule gauges (it should be the
+// per-reactor registry shard whose GatherLock is shard j); a nil slice
+// lands everything in the hub registry. Call before traffic.
+func (t *TCPReactors) AttachObs(h *obs.Hub, regs []*obs.Registry) {
+	if regs != nil && len(regs) != len(t.rs) {
+		panic("fabric: AttachObs needs one registry per reactor")
+	}
+	h.Reg.GaugeFunc("fabric_open_sessions", "", func() float64 { return float64(t.sessions.Load()) })
+	h.Reg.GaugeFunc("fabric_inflight_commands", "", func() float64 { return float64(t.inflight.Load()) })
+	for j, r := range t.rs {
+		reg := h.Reg
+		if regs != nil && regs[j] != nil {
+			reg = regs[j]
+		}
+		lb := obs.L("reactor", strconv.Itoa(j))
+		rr := r
+		reg.GaugeFunc("fabric_reactor_rx_capsules", lb, func() float64 { return float64(rr.rx.Load()) })
+		reg.GaugeFunc("fabric_reactor_tx_capsules", lb, func() float64 { return float64(rr.tx.Load()) })
+		reg.Help("fabric_reactor_rx_capsules", "command capsules received by the reactor")
+		reg.Help("fabric_reactor_tx_capsules", "response capsules sent by the reactor")
+	}
+}
+
+// PipelineRegs maps per-reactor registries onto per-pipeline registries
+// for Target.AttachObsSharded: pipeline i reports into its owning
+// reactor's shard registry.
+func (t *TCPReactors) PipelineRegs(regs []*obs.Registry) []*obs.Registry {
+	out := make([]*obs.Registry, t.target.SSDs())
+	for i := range out {
+		out[i] = regs[i%len(t.rs)]
+	}
+	return out
+}
+
+// ReactorStat is one reactor's row in the /reactors admin endpoint.
+type ReactorStat struct {
+	Reactor    int   `json:"reactor"`
+	SSDs       []int `json:"ssds"`
+	Conduits   int   `json:"conduits"`
+	RxCapsules int64 `json:"rx_capsules"`
+	TxCapsules int64 `json:"tx_capsules"`
+}
+
+// ReactorStats snapshots the shard → SSD mapping and per-reactor traffic.
+func (t *TCPReactors) ReactorStats() []ReactorStat {
+	out := make([]ReactorStat, len(t.rs))
+	for j, r := range t.rs {
+		st := ReactorStat{Reactor: j, RxCapsules: r.rx.Load(), TxCapsules: r.tx.Load()}
+		for i := 0; i < t.target.SSDs(); i++ {
+			if i%len(t.rs) == j {
+				st.SSDs = append(st.SSDs, i)
+			}
+		}
+		st.Conduits = len(*r.conds.Load())
+		out[j] = st
+	}
+	return out
+}
+
+// Close force-closes the listener and every connection, waits for the
+// transport goroutines, then stops the reactors (which retire the
+// orphaned conduits on the way out).
+func (t *TCPReactors) Close() error {
+	t.closed.Store(true)
+	t.closing.Store(true)
+	err := t.ln.Close()
+	t.kickConns()
+	t.wg.Wait()
+	t.stopReactors()
+	return err
+}
+
+// Shutdown is the graceful variant: stop accepting, wait up to timeout
+// for in-flight commands to drain so their completions reach clients,
+// then close the rest.
+func (t *TCPReactors) Shutdown(timeout time.Duration) error {
+	t.closed.Store(true)
+	err := t.ln.Close()
+	deadline := time.Now().Add(timeout)
+	for t.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.closing.Store(true)
+	t.kickConns()
+	t.wg.Wait()
+	t.stopReactors()
+	return err
+}
+
+func (t *TCPReactors) kickConns() {
+	t.connMu.Lock()
+	for c := range t.conns {
+		c.conn.Close()
+		c.rWake.wake()
+		c.wWake.wake()
+	}
+	t.connMu.Unlock()
+}
+
+func (t *TCPReactors) stopReactors() {
+	for _, r := range t.rs {
+		r.stop.Store(true)
+		r.wake.wake()
+	}
+	t.rwg.Wait()
+}
+
+func (t *TCPReactors) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &rconn{
+			srv:        t,
+			conn:       conn,
+			free:       newSPSC[*ioSlot](connSlots),
+			rWake:      newWaker(),
+			wWake:      newWaker(),
+			byReactor:  make([]*conduit, len(t.rs)),
+			readerExit: make(chan struct{}),
+		}
+		c.conds.Store(&[]*conduit{})
+		for i := 0; i < connSlots; i++ {
+			s := &ioSlot{conn: c}
+			s.doneFn = s.finish
+			c.free.push(s)
+		}
+		t.connMu.Lock()
+		if t.closed.Load() {
+			t.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		t.conns[c] = struct{}{}
+		t.sessions.Add(1)
+		t.connMu.Unlock()
+		t.wg.Add(2)
+		go c.writeLoop()
+		go c.readLoop()
+	}
+}
+
+// reactorFor routes an NSID to its owning reactor. Invalid namespaces go
+// to reactor 0, which produces the error reply under its shard lock.
+func (t *TCPReactors) reactorFor(nsid uint8) int {
+	if int(nsid) >= t.target.SSDs() {
+		return 0
+	}
+	return int(nsid) % len(t.rs)
+}
+
+// conduit returns (creating on first use) the ring pair to reactor j.
+// Only the reader calls this; the copy-on-write list publications make
+// the new conduit visible to the writer and the reactor before any
+// command lands in its rings.
+func (c *rconn) conduit(j int) *conduit {
+	if cd := c.byReactor[j]; cd != nil {
+		return cd
+	}
+	cd := &conduit{
+		conn:    c,
+		r:       c.srv.rs[j],
+		cmd:     newSPSC[*ioSlot](connSlots),
+		cpl:     newSPSC[*ioSlot](connSlots),
+		tenants: map[uint8]*nvme.Tenant{},
+	}
+	c.byReactor[j] = cd
+	old := *c.conds.Load()
+	nw := make([]*conduit, len(old)+1)
+	copy(nw, old)
+	nw[len(old)] = cd
+	c.conds.Store(&nw)
+	cd.r.addConduit(cd)
+	return cd
+}
+
+// takeSlot pops a free slot, sleeping when the pool is exhausted (the
+// natural backpressure bound on pipelining depth). Returns nil when the
+// server is closing.
+func (c *rconn) takeSlot() *ioSlot {
+	for {
+		if s, ok := c.free.pop(); ok {
+			c.outstanding.Add(1)
+			return s
+		}
+		if c.srv.closing.Load() {
+			return nil
+		}
+		c.rWake.prepareSleep()
+		if !c.free.empty() || c.srv.closing.Load() {
+			c.rWake.cancelSleep()
+			continue
+		}
+		c.rWake.sleep()
+	}
+}
+
+// readLoop decodes frames into slots and publishes them to the owning
+// reactors in batches: it keeps staging while complete frames are already
+// buffered (up to readBatch), then flushes every touched conduit with one
+// ring publish and one doorbell each.
+func (c *rconn) readLoop() {
+	t := c.srv
+	defer t.wg.Done()
+	r := bufio.NewReaderSize(c.conn, 256<<10)
+	var scratch []byte
+	var touched []*conduit
+	nstaged := 0
+	flush := func() {
+		for _, cd := range touched {
+			if len(cd.staged) == 0 {
+				continue
+			}
+			if cd.cmd.pushBatch(cd.staged) != len(cd.staged) {
+				panic("fabric: command ring overflow")
+			}
+			cd.staged = cd.staged[:0]
+			cd.r.wake.wake()
+		}
+		touched = touched[:0]
+		nstaged = 0
+	}
+	for {
+		s := c.takeSlot()
+		if s == nil {
+			break
+		}
+		frame, err := readFrameInto(r, scratch)
+		if err != nil {
+			c.outstanding.Add(-1) // slot dropped, dies with the connection
+			break
+		}
+		scratch = frame
+		if _, err := DecodeCommandInto(&s.cmd, frame); err != nil {
+			c.outstanding.Add(-1)
+			break
+		}
+		cd := c.conduit(t.reactorFor(s.cmd.NSID))
+		s.cond = cd
+		if len(cd.staged) == 0 {
+			touched = append(touched, cd)
+		}
+		cd.staged = append(cd.staged, s)
+		nstaged++
+		if nstaged >= readBatch || !fullFrameBuffered(r) {
+			flush()
+		}
+	}
+	flush()
+	c.readerDone.Store(true)
+	close(c.readerExit)
+	c.wWake.wake()
+}
+
+// writeLoop drains the connection's completion rings and writes the
+// gathered response frames with one writev, then recycles the slots. It
+// exits once the reader is gone and every slot is home (or immediately on
+// server close), then tears the connection down.
+func (c *rconn) writeLoop() {
+	t := c.srv
+	defer t.wg.Done()
+	defer c.teardown()
+	var tmp [writeBatch]*ioSlot
+	var slots []*ioSlot
+	var bufs [][]byte
+	// nb lives across iterations: net.Buffers.WriteTo advances the slice
+	// through a pointer receiver, so a loop-local value would escape and
+	// allocate per writev.
+	var nb net.Buffers
+	broken := false
+	for {
+		slots = slots[:0]
+		for _, cd := range *c.conds.Load() {
+			for {
+				n := cd.cpl.popBatch(tmp[:])
+				if n == 0 {
+					break
+				}
+				slots = append(slots, tmp[:n]...)
+				if n < len(tmp) {
+					break
+				}
+			}
+		}
+		if len(slots) == 0 {
+			if t.closing.Load() {
+				return
+			}
+			if c.readerDone.Load() && c.outstanding.Load() == 0 {
+				return
+			}
+			c.wWake.prepareSleep()
+			if c.anyCpl() || t.closing.Load() ||
+				(c.readerDone.Load() && c.outstanding.Load() == 0) {
+				c.wWake.cancelSleep()
+				continue
+			}
+			c.wWake.sleep()
+			continue
+		}
+		if !broken {
+			bufs = bufs[:0]
+			for _, s := range slots {
+				bufs = append(bufs, s.out)
+			}
+			nb = net.Buffers(bufs)
+			if _, err := nb.WriteTo(c.conn); err != nil {
+				broken = true
+			}
+		}
+		for _, s := range slots {
+			if !c.free.push(s) {
+				panic("fabric: free ring overflow")
+			}
+		}
+		c.outstanding.Add(int64(-len(slots)))
+		c.rWake.wake()
+	}
+}
+
+func (c *rconn) anyCpl() bool {
+	for _, cd := range *c.conds.Load() {
+		if !cd.cpl.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// teardown retires the connection: waits for the reader, flags every
+// conduit dead (their reactors drain and disconnect the tenants from
+// shard context), and unregisters the session.
+func (c *rconn) teardown() {
+	t := c.srv
+	<-c.readerExit
+	for _, cd := range *c.conds.Load() {
+		cd.dead.Store(true)
+		cd.r.wake.wake()
+	}
+	t.connMu.Lock()
+	delete(t.conns, c)
+	t.sessions.Add(-1)
+	t.connMu.Unlock()
+	c.conn.Close()
+}
+
+// addConduit publishes a new conduit to the reactor's poll list.
+func (r *reactor) addConduit(cd *conduit) {
+	r.mu.Lock()
+	old := *r.conds.Load()
+	nw := make([]*conduit, len(old)+1)
+	copy(nw, old)
+	nw[len(old)] = cd
+	r.conds.Store(&nw)
+	r.mu.Unlock()
+	r.wake.wake()
+}
+
+func (r *reactor) removeConduit(cd *conduit) {
+	r.mu.Lock()
+	old := *r.conds.Load()
+	nw := make([]*conduit, 0, len(old))
+	for _, x := range old {
+		if x != cd {
+			nw = append(nw, x)
+		}
+	}
+	r.conds.Store(&nw)
+	r.mu.Unlock()
+}
+
+// run is the reactor loop: poll every conduit's command ring, submit
+// popped batches under one shard-lock acquisition, retire dead conduits,
+// sleep when idle.
+func (r *reactor) run() {
+	defer r.srv.rwg.Done()
+	var batch [submitBatch]*ioSlot
+	for {
+		did := false
+		for _, cd := range *r.conds.Load() {
+			if cd.dead.Load() {
+				r.retire(cd)
+				did = true
+				continue
+			}
+			n := cd.cmd.popBatch(batch[:])
+			if n == 0 {
+				continue
+			}
+			did = true
+			r.shard.Lock()
+			for _, s := range batch[:n] {
+				r.submit(cd, s)
+			}
+			r.shard.Unlock()
+		}
+		if did {
+			continue
+		}
+		if r.stop.Load() {
+			return
+		}
+		r.wake.prepareSleep()
+		if r.anyWork() || r.stop.Load() {
+			r.wake.cancelSleep()
+			continue
+		}
+		r.wake.sleep()
+	}
+}
+
+func (r *reactor) anyWork() bool {
+	for _, cd := range *r.conds.Load() {
+		if cd.dead.Load() || !cd.cmd.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// retire removes a dead conduit: drop whatever commands are still queued
+// (the connection is gone; the slots die with it) and disconnect its
+// tenants so queued IOs abort instead of stranding scheduler state. Runs
+// on the reactor goroutine, keeping the cmd ring single-consumer.
+func (r *reactor) retire(cd *conduit) {
+	r.removeConduit(cd)
+	var batch [submitBatch]*ioSlot
+	for cd.cmd.popBatch(batch[:]) > 0 {
+	}
+	r.shard.Lock()
+	for nsid, tn := range cd.tenants {
+		r.srv.target.Disconnect(int(nsid), tn)
+	}
+	r.shard.Unlock()
+}
+
+// submit injects one decoded command into its pipeline. Runs under the
+// reactor's shard lock; allocates nothing in steady state (the tenant
+// bootstrap on a namespace's first command is the one exception).
+func (r *reactor) submit(cd *conduit, s *ioSlot) {
+	t := r.srv
+	r.rx.Add(1)
+	t.inflight.Add(1)
+	cmd := &s.cmd
+	s.cid = cmd.CID
+	s.wantData = cmd.Opcode == nvme.OpRead
+	s.size = int(cmd.Length)
+	if int(cmd.NSID) >= t.target.SSDs() {
+		s.finish(nil, nvme.Completion{Status: nvme.StatusInvalidOp})
+		return
+	}
+	tn := cd.tenants[cmd.NSID]
+	if tn == nil {
+		id := int(t.tenantID.Add(1))
+		tn = nvme.NewTenant(id, fmt.Sprintf("conn%d-ns%d", id, cmd.NSID))
+		cd.tenants[cmd.NSID] = tn
+		t.target.Register(int(cmd.NSID), tn)
+	}
+	s.io = nvme.IO{
+		Op:       cmd.Opcode,
+		Offset:   int64(cmd.SLBA) * 4096,
+		Size:     s.size,
+		Priority: cmd.Priority,
+		Tenant:   tn,
+		Done:     s.doneFn,
+	}
+	t.target.Ingress(int(cmd.NSID), &s.io)
+}
+
+// finish is the slot's pre-bound completion: build the sealed response
+// frame in place (zero payload for reads — the simulated SSD stores no
+// data) and publish it to the writer. Always runs in the owning shard's
+// context — the reactor's submit path or a device timer holding the same
+// lock — so the cpl ring keeps a single serialized producer.
+func (s *ioSlot) finish(_ *nvme.IO, cpl nvme.Completion) {
+	t := s.conn.srv
+	t.inflight.Add(-1)
+	s.cond.r.tx.Add(1)
+	dataLen := 0
+	if s.wantData && cpl.Status == nvme.StatusOK {
+		dataLen = s.size
+	}
+	s.out = appendZeroResponse(s.out[:0], s.cid, cpl.Status, cpl.Credit, dataLen)
+	if !s.cond.cpl.push(s) {
+		panic("fabric: completion ring overflow")
+	}
+	s.conn.wWake.wake()
+}

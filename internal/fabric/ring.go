@@ -1,0 +1,162 @@
+package fabric
+
+import "sync/atomic"
+
+// spsc is a bounded lock-free single-producer/single-consumer ring — the
+// conduit between the transport goroutines of the live reactor datapath
+// (DESIGN.md §4.1): connection readers publish decoded commands to
+// reactors, and reactor shard context publishes sealed response frames
+// back to connection writers. Exactly one goroutine may call the producer
+// methods (push, pushBatch) and exactly one the consumer methods (pop,
+// popBatch); "one goroutine" may be a role serialized by a mutex, as with
+// the completion ring whose producers all hold the owning shard's lock.
+//
+// head and tail are free-running uint64 positions (they wrap after 2^64
+// items, i.e. never); a position maps to a slot via the power-of-two mask.
+// The producer owns tail, the consumer owns head, and Go's seq-cst
+// atomics give the release/acquire pairing that makes the non-atomic slot
+// writes safe: a consumer that observes tail=k sees every buf write made
+// before the producer stored k, and symmetrically for head.
+type spsc[T any] struct {
+	mask uint64
+	buf  []T
+	// Pad the hot indices onto separate cache lines so the producer's tail
+	// stores never false-share with the consumer's head stores.
+	_    [48]byte
+	head atomic.Uint64 // next position the consumer reads; consumer-owned
+	_    [56]byte
+	tail atomic.Uint64 // next position the producer writes; producer-owned
+	_    [56]byte
+}
+
+// newSPSC returns a ring holding at least capacity items (rounded up to a
+// power of two).
+func newSPSC[T any](capacity int) *spsc[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spsc[T]{mask: uint64(n - 1), buf: make([]T, n)}
+}
+
+// cap returns the ring capacity.
+func (r *spsc[T]) cap() int { return len(r.buf) }
+
+// len returns the current occupancy. It is exact for the two endpoint
+// goroutines and a consistent lower/upper bound for anyone else.
+func (r *spsc[T]) len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// empty reports whether the ring has no items.
+func (r *spsc[T]) empty() bool { return r.head.Load() == r.tail.Load() }
+
+// push publishes one item; it returns false when the ring is full.
+// Producer side only.
+func (r *spsc[T]) push(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// pushBatch publishes as many of vs as fit with a single tail store (one
+// release operation — and one consumer wakeup — per batch, not per item)
+// and returns how many it took. Producer side only.
+func (r *spsc[T]) pushBatch(vs []T) int {
+	tail := r.tail.Load()
+	free := uint64(len(r.buf)) - (tail - r.head.Load())
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(tail+i)&r.mask] = vs[i]
+	}
+	r.tail.Store(tail + n)
+	return int(n)
+}
+
+// pop removes one item; ok is false when the ring is empty. The vacated
+// slot is zeroed so the ring never pins dead references. Consumer side
+// only.
+func (r *spsc[T]) pop() (v T, ok bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return v, false
+	}
+	var zero T
+	idx := head & r.mask
+	v = r.buf[idx]
+	r.buf[idx] = zero
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// popBatch removes up to len(dst) items with a single head store and
+// returns how many it delivered. Consumer side only.
+func (r *spsc[T]) popBatch(dst []T) int {
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	var zero T
+	for i := uint64(0); i < n; i++ {
+		idx := (head + i) & r.mask
+		dst[i] = r.buf[idx]
+		r.buf[idx] = zero
+	}
+	r.head.Store(head + n)
+	return int(n)
+}
+
+// waker is the doorbell of a ring consumer. The consumer announces intent
+// to block with prepareSleep, re-checks its work sources, and either
+// cancels or sleeps; producers call wake after publishing. The seq-cst
+// ordering of the sleeping flag against the ring indices makes the lost
+// wakeup impossible: either the producer's wake observes sleeping=true
+// and posts the token, or the consumer's re-check observes the published
+// tail and never blocks. Spurious tokens are harmless — the consumer
+// re-polls after every wakeup.
+type waker struct {
+	sleeping atomic.Bool
+	ch       chan struct{}
+}
+
+func newWaker() *waker { return &waker{ch: make(chan struct{}, 1)} }
+
+// wake nudges the consumer if it is (about to go) asleep. Safe to call
+// from any goroutine; the one-slot buffered channel coalesces bursts.
+func (w *waker) wake() {
+	if w.sleeping.Load() {
+		select {
+		case w.ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// prepareSleep announces intent to block. The caller MUST re-check every
+// work source afterwards and call cancelSleep if any has work.
+func (w *waker) prepareSleep() { w.sleeping.Store(true) }
+
+// cancelSleep retracts prepareSleep after the re-check found work.
+func (w *waker) cancelSleep() { w.sleeping.Store(false) }
+
+// sleep blocks until a producer wakes the consumer.
+func (w *waker) sleep() {
+	<-w.ch
+	w.sleeping.Store(false)
+}

@@ -190,7 +190,10 @@ func (t *Target) Connect(tenant *nvme.Tenant, ssdIdx int) *Session {
 func (t *Target) ConnectWithGater(tenant *nvme.Tenant, ssdIdx int, g Gater) *Session {
 	t.Register(ssdIdx, tenant)
 	return &Session{
-		clk:    t.clk,
+		// The session lives on its pipeline's scheduler: identical to the
+		// target-wide clock in the simulator, the owning reactor's shard on
+		// a sharded live target.
+		clk:    t.pipes[ssdIdx].clk,
 		target: t,
 		ssd:    ssdIdx,
 		tenant: tenant,

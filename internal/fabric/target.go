@@ -86,16 +86,33 @@ func DefaultTargetConfig(s Scheme) TargetConfig {
 	}
 }
 
-// Pipeline is one per-SSD shared-nothing pipeline (§4.1).
+// Pipeline is one per-SSD shared-nothing pipeline (§4.1). Everything a
+// pipeline touches per IO — its clock, its ingress-op freelist, its tenant
+// accounting — lives here, never on the Target, so pipelines driven by
+// different scheduler shards (live reactor mode) share no mutable state.
 type Pipeline struct {
 	Sched nvme.Scheduler
 	Dev   ssd.Device
 	// Gimbal is non-nil when the scheme is Gimbal (virtual-view access).
 	Gimbal *core.Switch
 
+	// clk drives this pipeline. In the simulator and the single-lock live
+	// target every pipeline shares one scheduler; in sharded live mode each
+	// pipeline runs on its reactor's shard.
+	clk sim.Scheduler
+
 	// tenants lists every tenant registered on this pipeline (stats).
 	tenants []*nvme.Tenant
+
+	// opFree recycles per-IO ingress tracking state for this pipeline.
+	opFree []*ingressOp
+
+	// pobs is the pipeline's tenant accounting; nil until AttachObs.
+	pobs *pipeObs
 }
+
+// Clock returns the scheduler driving this pipeline.
+func (p *Pipeline) Clock() sim.Scheduler { return p.clk }
 
 // Tenants returns the tenants registered on this pipeline.
 func (p *Pipeline) Tenants() []*nvme.Tenant { return p.tenants }
@@ -107,18 +124,45 @@ type Target struct {
 	cfg   TargetConfig
 	pipes []*Pipeline
 
-	// opFree recycles per-IO ingress tracking state.
-	opFree []*ingressOp
-
 	// obs is the attached telemetry state; nil by default.
 	obs *targetObs
 }
 
 // NewTarget builds a node over the devices with the configured scheme.
 func NewTarget(clk sim.Scheduler, devs []ssd.Device, cfg TargetConfig) *Target {
-	t := &Target{clk: clk, cfg: cfg}
-	for _, dev := range devs {
-		p := &Pipeline{Dev: dev}
+	clks := make([]sim.Scheduler, len(devs))
+	for i := range clks {
+		clks[i] = clk
+	}
+	return NewShardedTarget(clks, devs, cfg)
+}
+
+// NewShardedTarget builds a node whose pipeline i runs entirely on
+// clks[i]: device, scheduler, and ingress accounting for SSD i are only
+// ever touched under that scheduler's serialization. This is the target
+// shape of the live reactor datapath — each reactor drives the pipelines
+// built on its shard and never takes another shard's lock. clks[0] is the
+// canonical clock for whole-target snapshots (shards share an epoch).
+// The shared-pool CPU model cannot be charged from concurrent shards, so
+// cfg.CPU must be nil when the clocks differ.
+func NewShardedTarget(clks []sim.Scheduler, devs []ssd.Device, cfg TargetConfig) *Target {
+	if len(clks) != len(devs) {
+		panic("fabric: NewShardedTarget needs one scheduler per device")
+	}
+	if len(devs) == 0 {
+		panic("fabric: target needs at least one device")
+	}
+	if cfg.CPU != nil {
+		for _, c := range clks[1:] {
+			if c != clks[0] {
+				panic("fabric: the shared CPU model cannot run on sharded schedulers")
+			}
+		}
+	}
+	t := &Target{clk: clks[0], cfg: cfg}
+	for i, dev := range devs {
+		clk := clks[i]
+		p := &Pipeline{Dev: dev, clk: clk}
 		switch cfg.Scheme {
 		case SchemeGimbal:
 			sw := core.New(clk, dev, cfg.Gimbal)
@@ -197,10 +241,12 @@ type ingressOp struct {
 	completeFn func()
 }
 
-func (t *Target) getIngressOp() *ingressOp {
-	if n := len(t.opFree); n > 0 {
-		op := t.opFree[n-1]
-		t.opFree = t.opFree[:n-1]
+// getIngressOp takes an op off the pipeline's freelist. Freelists are
+// per-pipeline so sharded pipelines never share op state.
+func (p *Pipeline) getIngressOp(t *Target) *ingressOp {
+	if n := len(p.opFree); n > 0 {
+		op := p.opFree[n-1]
+		p.opFree = p.opFree[:n-1]
 		return op
 	}
 	op := &ingressOp{t: t}
@@ -214,16 +260,17 @@ func (t *Target) getIngressOp() *ingressOp {
 // cost, and forwards to the downstream (wire) callback.
 func (op *ingressOp) onDone(io *nvme.IO, cpl nvme.Completion) {
 	t := op.t
+	pipe := op.pipe
 	if t.obs != nil {
-		t.obs.onCompletion(t.clk.Now(), io, cpl)
+		t.obs.onCompletion(pipe, pipe.clk.Now(), io, cpl)
 	}
 	if t.cfg.CPU == nil {
 		op.finish(cpl)
 		return
 	}
 	op.cpl = cpl
-	at := t.cfg.CPU.ChargeIO(t.clk.Now(), t.cfg.CPU.CompleteCost, io.Size)
-	t.clk.At(at, op.completeFn)
+	at := t.cfg.CPU.ChargeIO(pipe.clk.Now(), t.cfg.CPU.CompleteCost, io.Size)
+	pipe.clk.At(at, op.completeFn)
 }
 
 func (op *ingressOp) complete() { op.finish(op.cpl) }
@@ -231,24 +278,25 @@ func (op *ingressOp) complete() { op.finish(op.cpl) }
 // finish recycles the op before invoking downstream so a back-to-back
 // resubmission through this target can reuse it immediately.
 func (op *ingressOp) finish(cpl nvme.Completion) {
-	io, downstream := op.io, op.downstream
+	io, downstream, pipe := op.io, op.downstream, op.pipe
 	op.io, op.downstream, op.pipe = nil, nil, nil
-	op.t.opFree = append(op.t.opFree, op)
+	pipe.opFree = append(pipe.opFree, op)
 	downstream(io, cpl)
 }
 
 // Ingress injects an IO into a pipeline, charging the per-IO SmartNIC CPU
 // cost on both the submission and completion paths (§2.4). The io.Done
 // already set on the IO receives the completion after the egress charge.
+// Callers in sharded live mode must hold the pipeline's shard lock.
 func (t *Target) Ingress(ssdIdx int, io *nvme.IO) {
 	pipe := t.pipes[ssdIdx]
 	if io.Origin == 0 {
 		// No transport stamped a client-side send time; anchor the
 		// fabric span at NIC ingress so FabricDelay covers only the
 		// CPU submit charge.
-		io.Origin = t.clk.Now()
+		io.Origin = pipe.clk.Now()
 	}
-	op := t.getIngressOp()
+	op := pipe.getIngressOp(t)
 	op.pipe = pipe
 	op.io = io
 	op.downstream = io.Done
@@ -257,6 +305,6 @@ func (t *Target) Ingress(ssdIdx int, io *nvme.IO) {
 		pipe.Sched.Enqueue(io)
 		return
 	}
-	at := t.cfg.CPU.ChargeIO(t.clk.Now(), t.cfg.CPU.SubmitCost, io.Size)
-	t.clk.At(at, op.enqueueFn)
+	at := t.cfg.CPU.ChargeIO(pipe.clk.Now(), t.cfg.CPU.SubmitCost, io.Size)
+	pipe.clk.At(at, op.enqueueFn)
 }

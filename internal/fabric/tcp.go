@@ -23,16 +23,6 @@ import (
 
 const maxFrame = 4 << 20 // caps a frame at 4MB: header + 128KB data is typical
 
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
 func readFrame(r *bufio.Reader) ([]byte, error) {
 	return readFrameInto(r, nil)
 }
@@ -40,11 +30,15 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 // readFrameInto reads one frame, reusing scratch's capacity when it
 // suffices so a connection loop amortizes its read buffer.
 func readFrameInto(r *bufio.Reader, scratch []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// Peek+Discard instead of ReadFull into a local array: the array's
+	// slice would escape through the io.Reader interface and cost one
+	// heap allocation per frame on the live datapath.
+	hdr, err := r.Peek(4)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
+	r.Discard(4)
 	if n > maxFrame {
 		return nil, fmt.Errorf("fabric: frame of %d bytes exceeds limit", n)
 	}
@@ -65,12 +59,21 @@ func readFrameInto(r *bufio.Reader, scratch []byte) ([]byte, error) {
 // the writer returns it after the socket write.
 var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
+// frameBuf holds one complete wire frame: the 4-byte big-endian length
+// prefix and the capsule payload, contiguous. Senders append the payload
+// after the reserved prefix and seal() before handing the frame to a
+// writer, so every frame reaches the socket in a single Write.
 type frameBuf struct{ b []byte }
 
 func getFrame() *frameBuf {
 	f := framePool.Get().(*frameBuf)
-	f.b = f.b[:0]
+	f.b = append(f.b[:0], 0, 0, 0, 0)
 	return f
+}
+
+// seal stamps the length prefix once the payload is appended.
+func (f *frameBuf) seal() {
+	binary.BigEndian.PutUint32(f.b[:4], uint32(len(f.b)-4))
 }
 
 func putFrame(f *frameBuf) { framePool.Put(f) }
@@ -88,9 +91,11 @@ type TCPTarget struct {
 	tenantID atomic.Int64
 
 	// Connection tracking and in-flight accounting for graceful shutdown
-	// and the session-depth telemetry.
+	// and the session-depth telemetry. sessions mirrors len(conns) so the
+	// /metrics gauge never takes connMu against accept/teardown.
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
+	sessions atomic.Int64
 	inflight atomic.Int64
 
 	// Capsule counters; nil until AttachObs.
@@ -106,11 +111,7 @@ func (t *TCPTarget) AttachObs(reg *obs.Registry) {
 	reg.Help("fabric_rx_capsules_total", "command capsules received")
 	reg.Help("fabric_tx_capsules_total", "response capsules sent")
 	reg.GaugeFunc("fabric_inflight_commands", "", func() float64 { return float64(t.inflight.Load()) })
-	reg.GaugeFunc("fabric_open_sessions", "", func() float64 {
-		t.connMu.Lock()
-		defer t.connMu.Unlock()
-		return float64(len(t.conns))
-	})
+	reg.GaugeFunc("fabric_open_sessions", "", func() float64 { return float64(t.sessions.Load()) })
 }
 
 // Inflight returns the number of commands currently inside the target.
@@ -179,6 +180,7 @@ func (t *TCPTarget) acceptLoop() {
 			continue
 		}
 		t.conns[conn] = struct{}{}
+		t.sessions.Add(1)
 		t.connMu.Unlock()
 		t.wg.Add(1)
 		go t.serveConn(conn)
@@ -190,6 +192,7 @@ func (t *TCPTarget) serveConn(conn net.Conn) {
 	defer func() {
 		t.connMu.Lock()
 		delete(t.conns, conn)
+		t.sessions.Add(-1)
 		t.connMu.Unlock()
 		conn.Close()
 	}()
@@ -199,7 +202,7 @@ func (t *TCPTarget) serveConn(conn net.Conn) {
 		defer close(done)
 		w := bufio.NewWriter(conn)
 		for frame := range out {
-			err := writeFrame(w, frame.b)
+			_, err := w.Write(frame.b)
 			putFrame(frame)
 			if err != nil {
 				return
@@ -249,6 +252,7 @@ func (t *TCPTarget) handle(cmd *CommandCapsule, tenants map[uint8]*nvme.Tenant, 
 		}
 		frame := getFrame()
 		frame.b = AppendResponse(frame.b, rsp)
+		frame.seal()
 		select {
 		case out <- frame:
 		default:
@@ -439,10 +443,11 @@ func (c *TCPClient) sendLocked(call *pendingCall) {
 	c.gate.OnSubmit()
 	frame := getFrame()
 	frame.b = AppendCommand(frame.b, call.cmd)
+	frame.seal()
 	go func() {
 		c.wmu.Lock()
 		defer c.wmu.Unlock()
-		if err := writeFrame(c.bw, frame.b); err == nil {
+		if _, err := c.bw.Write(frame.b); err == nil {
 			c.bw.Flush()
 		}
 		putFrame(frame)

@@ -22,6 +22,58 @@ func NewRealScheduler() *RealScheduler {
 	return &RealScheduler{epoch: time.Now()}
 }
 
+// RealShards is a set of wall-clock scheduler shards sharing one epoch:
+// the shared-nothing substrate of the live reactor datapath (DESIGN.md
+// §4.1). Each reactor owns one shard; the components built against a
+// shard (SSD model, switch pipeline) are serialized by that shard's lock
+// only, so reactors never contend with each other on the per-IO path.
+// Admin snapshots that must observe every pipeline at once take all shard
+// locks through Lock/Unlock; RealShards therefore satisfies the same
+// Locker+Now surface a single RealScheduler does.
+type RealShards struct {
+	shards []*RealScheduler
+}
+
+// NewRealShards returns n wall-clock shards anchored at a common epoch,
+// so Now() agrees (to clock-read skew) across shards.
+func NewRealShards(n int) *RealShards {
+	if n < 1 {
+		n = 1
+	}
+	epoch := time.Now()
+	s := &RealShards{shards: make([]*RealScheduler, n)}
+	for i := range s.shards {
+		s.shards[i] = &RealScheduler{epoch: epoch}
+	}
+	return s
+}
+
+// N returns the shard count.
+func (s *RealShards) N() int { return len(s.shards) }
+
+// Shard returns shard i.
+func (s *RealShards) Shard(i int) *RealScheduler { return s.shards[i] }
+
+// Lock acquires every shard lock in ascending order (the only order any
+// caller may use, so whole-target snapshots cannot deadlock against each
+// other). Per-IO paths never call this; it exists for admin snapshots and
+// shutdown.
+func (s *RealShards) Lock() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+// Unlock releases every shard lock.
+func (s *RealShards) Unlock() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Now returns the common-epoch wall-clock time.
+func (s *RealShards) Now() int64 { return s.shards[0].Now() }
+
 // Lock serializes external entry into components driven by this scheduler.
 func (s *RealScheduler) Lock() { s.mu.Lock() }
 

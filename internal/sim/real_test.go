@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealShardsClampAndLayout(t *testing.T) {
+	if n := NewRealShards(0).N(); n != 1 {
+		t.Fatalf("NewRealShards(0).N() = %d, want 1 (clamped)", n)
+	}
+	s := NewRealShards(4)
+	if s.N() != 4 {
+		t.Fatalf("N = %d, want 4", s.N())
+	}
+	seen := map[*RealScheduler]bool{}
+	for i := 0; i < 4; i++ {
+		sh := s.Shard(i)
+		if sh == nil || seen[sh] {
+			t.Fatalf("shard %d nil or duplicated", i)
+		}
+		seen[sh] = true
+	}
+}
+
+func TestRealShardsCommonEpoch(t *testing.T) {
+	s := NewRealShards(3)
+	// All shards anchor at one epoch: reading them back-to-back must give
+	// times within the read skew, far under the spread that distinct
+	// time.Now() epochs (microseconds apart) could produce over a run.
+	a, b, c := s.Shard(0).Now(), s.Shard(1).Now(), s.Shard(2).Now()
+	const skew = int64(50 * time.Millisecond)
+	if b-a > skew || c-b > skew || b < a || c < b {
+		t.Fatalf("shard clocks diverge: %d %d %d", a, b, c)
+	}
+	if s.Now() < a {
+		t.Fatal("RealShards.Now went backwards vs shard 0")
+	}
+}
+
+func TestRealShardsLockAll(t *testing.T) {
+	s := NewRealShards(4)
+	// Lock-all must be balanced and re-acquirable, and must really hold
+	// each shard: a timer queued while locked cannot have fired yet.
+	s.Lock()
+	fired := make(chan int64, 1)
+	sh := s.Shard(2)
+	sh.After(0, func() { fired <- sh.Now() })
+	select {
+	case <-fired:
+		t.Fatal("timer fired while its shard was locked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Unlock()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired after unlock")
+	}
+	s.Lock()
+	s.Unlock()
+}
+
+func TestRealShardsAfterRunsOnOwnShard(t *testing.T) {
+	s := NewRealShards(2)
+	done := make(chan struct{})
+	s.Shard(1).After(int64(time.Millisecond), func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shard timer never fired")
+	}
+}
