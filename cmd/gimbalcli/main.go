@@ -6,6 +6,11 @@
 //	gimbalcli -addr 127.0.0.1:4420 -op read -size 4096 -qd 32 -dur 10s
 //	gimbalcli -addr 127.0.0.1:4420 -op write -size 131072 -qd 4 -seq -dur 5s
 //
+// -conns N spreads the queue depth over N TCP connections (worker i uses
+// connection i%N), matching a reactor-sharded target (gimbald -reactors)
+// where each connection lands on one shard: one connection serializes on a
+// single reactor, N connections exercise the sharded datapath.
+//
 // The stats subcommand renders the daemon's observability endpoint: it
 // samples /stats twice and reports per-tenant interval bandwidth, credit,
 // and the per-SSD control-loop state (write cost, target rate, latency
@@ -53,6 +58,7 @@ func main() {
 		op     = flag.String("op", "read", "read or write")
 		size   = flag.Int("size", 4096, "IO size in bytes (4KB aligned)")
 		qd     = flag.Int("qd", 32, "queue depth")
+		conns  = flag.Int("conns", 1, "TCP connections; workers round-robin across them")
 		seq    = flag.Bool("seq", false, "sequential offsets")
 		nsid   = flag.Int("ns", 0, "namespace (SSD index)")
 		span   = flag.Int64("span", 1<<30, "offset range in bytes")
@@ -64,11 +70,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	client, err := fabric.DialTCP(*addr, sch)
-	if err != nil {
-		log.Fatal(err)
+	if *conns < 1 {
+		log.Fatalf("-conns %d: need at least one connection", *conns)
 	}
-	defer client.Close()
+	clients := make([]*fabric.TCPClient, *conns)
+	for i := range clients {
+		clients[i], err = fabric.DialTCP(*addr, sch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer clients[i].Close()
+	}
 
 	opcode := nvme.OpRead
 	if *op == "write" {
@@ -97,7 +109,7 @@ func main() {
 	}
 	for i := 0; i < *qd; i++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(seed int64, client *fabric.TCPClient) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(seed))
 			for time.Now().Before(stop) {
@@ -123,16 +135,20 @@ func main() {
 				mu.Unlock()
 				bytes.Add(int64(*size))
 			}
-		}(int64(i) + 1)
+		}(int64(i)+1, clients[i%*conns])
 	}
 	wg.Wait()
 
+	headroom := 0
+	for _, c := range clients {
+		headroom += c.Headroom()
+	}
 	sec := dur.Seconds()
-	fmt.Printf("%s %dB qd%d: %.1f MB/s, %.0f IOPS\n",
-		*op, *size, *qd, float64(bytes.Load())/1e6/sec, float64(hist.Count())/sec)
+	fmt.Printf("%s %dB qd%d conns%d: %.1f MB/s, %.0f IOPS\n",
+		*op, *size, *qd, *conns, float64(bytes.Load())/1e6/sec, float64(hist.Count())/sec)
 	fmt.Printf("latency: avg %.0fus p50 %dus p99 %dus p99.9 %dus max %dus\n",
 		hist.Mean()/1e3, hist.P50()/1000, hist.P99()/1000, hist.P999()/1000, hist.Max()/1000)
-	fmt.Printf("errors: %d, credit headroom at exit: %d\n", errs.Load(), client.Headroom())
+	fmt.Printf("errors: %d, credit headroom at exit: %d\n", errs.Load(), headroom)
 }
 
 // fetchStats GETs and decodes one /stats snapshot.

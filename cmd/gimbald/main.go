@@ -45,6 +45,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,6 +76,8 @@ func main() {
 		drain     = flag.Duration("drain", 3*time.Second, "graceful shutdown drain timeout")
 		faults    = flag.String("faults", "", "JSON fault plan armed at startup (SSD faults only)")
 		recovery  = flag.Bool("recovery", true, "enable fail-fast + graceful degradation on the gimbal scheme")
+		classW    = flag.String("class-weights", "", "comma-separated QoS class weights for the gimbal scheduler (e.g. 4,2,1); empty = flat single-class DRR")
+		eager     = flag.Bool("eager-redistribute", false, "use the O(tenants) eager vslot redistribution loop instead of the lazy epoch-stamped path (debugging/differential runs)")
 	)
 	flag.Parse()
 
@@ -81,6 +85,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tcfg := fabric.DefaultTargetConfig(sch)
+	if *classW != "" {
+		weights, err := parseClassWeights(*classW)
+		if err != nil {
+			log.Fatalf("-class-weights: %v", err)
+		}
+		tcfg.Gimbal.Sched.ClassWeights = weights
+	}
+	tcfg.Gimbal.Sched.EagerRedistribute = *eager
 	var condition ssd.Condition
 	switch *cond {
 	case "fresh":
@@ -138,9 +151,9 @@ func main() {
 	}
 	var target *fabric.Target
 	if R == 0 {
-		target = fabric.NewTarget(rs, devs, fabric.DefaultTargetConfig(sch))
+		target = fabric.NewTarget(rs, devs, tcfg)
 	} else {
-		target = fabric.NewReactorTarget(shards, devs, fabric.DefaultTargetConfig(sch))
+		target = fabric.NewReactorTarget(shards, devs, tcfg)
 	}
 	if *recovery && sch == fabric.SchemeGimbal {
 		for i := 0; i < *ssds; i++ {
@@ -411,6 +424,24 @@ func loadFaultPlan(path string) (*fault.Plan, error) {
 		})
 	}
 	return plan, nil
+}
+
+// parseClassWeights parses "-class-weights 4,2,1" into the scheduler's
+// QoS class weight vector.
+func parseClassWeights(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	weights := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("weight %q: %v", p, err)
+		}
+		if w < 1 {
+			return nil, fmt.Errorf("weight %d: must be >= 1", w)
+		}
+		weights = append(weights, w)
+	}
+	return weights, nil
 }
 
 func byteSize(n int64) string {

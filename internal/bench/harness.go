@@ -200,6 +200,7 @@ func (r *FioRun) applyFabricFault(ev fault.Event, active bool) {
 // AddWorker attaches one stream (usable mid-run for dynamic workloads).
 func (r *FioRun) AddWorker(spec Spec, rng *sim.RNG, name string) *workload.Worker {
 	tenant := nvme.NewTenant(len(r.Workers), name)
+	tenant.Class = spec.Profile.Class
 	sess := r.Target.Connect(tenant, spec.SSD)
 	if r.retry != nil {
 		sess.SetRetryPolicy(*r.retry)

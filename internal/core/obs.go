@@ -110,6 +110,8 @@ func (sw *Switch) AttachObs(h *obs.Hub, ssdIdx int) {
 	reg.Help("gimbal_vslot_wait_ns", "time queued with every virtual slot closed (congestion clamp)")
 	reg.Help("gimbal_pacing_stall_ns", "token pacing delay (DRR admit to device submit)")
 	reg.Help("gimbal_gc_stall_ns", "device-side wait attributed to garbage collection")
+	reg.Help("gimbal_drr_registered_tenants", "tenants registered with the scheduler (active or not)")
+	reg.Help("gimbal_drr_slot_share", "current per-tenant virtual-slot allotment from the lazy redistribution epoch")
 
 	reg.GaugeFunc("gimbal_submits_total", lb, func() float64 { return float64(sw.Submits()) })
 	reg.GaugeFunc("gimbal_completions_total", lb, func() float64 { return float64(sw.Completions()) })
@@ -123,6 +125,8 @@ func (sw *Switch) AttachObs(h *obs.Hub, ssdIdx int) {
 	reg.GaugeFunc("gimbal_drr_queued", lb, func() float64 { return float64(sw.drr.Queued()) })
 	reg.GaugeFunc("gimbal_drr_active_tenants", lb, func() float64 { return float64(sw.drr.ActiveTenants()) })
 	reg.GaugeFunc("gimbal_drr_deferred_tenants", lb, func() float64 { return float64(sw.drr.DeferredTenants()) })
+	reg.GaugeFunc("gimbal_drr_registered_tenants", lb, func() float64 { return float64(sw.drr.RegisteredTenants()) })
+	reg.GaugeFunc("gimbal_drr_slot_share", lb, func() float64 { return float64(sw.drr.SlotShare()) })
 	tokens := func(write bool) float64 {
 		r, w := sw.rate.Tokens()
 		if write {

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"gimbal/internal/nvme"
+)
+
+// BenchmarkDRRTenantScale measures the per-IO scheduler cost
+// (Enqueue + Select + Commit + Complete) against the registered-tenant
+// population. The acceptance bar for the lazy redistribution rework is a
+// near-flat curve from 1e2 to 1e5 registered tenants at 0 allocs/op: a
+// small working set of tenants does IO while the rest of the population
+// merely exists, which is exactly the regime the eager allotment loop made
+// quadratic (every activation walked all registered tenants).
+func BenchmarkDRRTenantScale(b *testing.B) {
+	for _, n := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("tenants=%d", n), func(b *testing.B) {
+			benchSteady(b, n)
+		})
+	}
+	for _, n := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("churn/tenants=%d", n), func(b *testing.B) {
+			benchChurn(b, n)
+		})
+	}
+}
+
+// benchSteady cycles a small active working set over a large registered
+// population: each iteration is one full IO lifecycle, with tenant
+// activate/deactivate transitions every IO (queue drains between IOs, the
+// worst case for redistribution cost).
+func benchSteady(b *testing.B, n int) {
+	d := New(DefaultConfig(), plainWeight)
+	tenants := make([]*nvme.Tenant, n)
+	for i := range tenants {
+		tenants[i] = nvme.NewTenant(i, "t")
+		d.Register(tenants[i])
+	}
+	const working = 64
+	ios := make([]*nvme.IO, working)
+	for i := range ios {
+		ios[i] = mkIO(tenants[i], 4096, nvme.PriorityNormal)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		io := ios[i%working]
+		d.Enqueue(io)
+		sel := d.Select()
+		d.Commit(sel)
+		d.Complete(sel)
+	}
+}
+
+// benchChurn adds tenant join/leave to the steady loop: every iteration
+// unregisters one member of a rotating cohort and registers a replacement,
+// the operation whose cost the eager loop tied to the full population.
+func benchChurn(b *testing.B, n int) {
+	d := New(DefaultConfig(), plainWeight)
+	tenants := make([]*nvme.Tenant, n)
+	for i := range tenants {
+		tenants[i] = nvme.NewTenant(i, "t")
+		d.Register(tenants[i])
+	}
+	const working = 64
+	ios := make([]*nvme.IO, working)
+	for i := range ios {
+		ios[i] = mkIO(tenants[i], 4096, nvme.PriorityNormal)
+	}
+	// Churn cohort: rotates through tenants outside the IO working set.
+	hi := working + working
+	if hi > len(tenants) {
+		hi = len(tenants)
+	}
+	churn := tenants[working:hi]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		io := ios[i%working]
+		d.Enqueue(io)
+		sel := d.Select()
+		d.Commit(sel)
+		d.Complete(sel)
+		victim := churn[i%len(churn)]
+		d.Unregister(victim)
+		d.Register(victim)
+	}
+}

@@ -1,8 +1,18 @@
-// Package sched implements Gimbal's two-level hierarchical IO scheduler
-// (§3.5): a deficit-round-robin scheduler over tenants using cost-weighted
-// IO sizes, integrated with the virtual-slot mechanism (active/deferred
-// tenant lists, deferred freezing while deferred), and per-tenant weighted
-// priority queues cycled when filling a slot.
+// Package sched implements Gimbal's hierarchical IO scheduler (§3.5): a
+// deficit-round-robin scheduler over QoS classes, then over the tenants of
+// each class, using cost-weighted IO sizes, integrated with the
+// virtual-slot mechanism (active/deferred tenant lists, deficit freezing
+// while deferred), and per-tenant weighted priority queues cycled when
+// filling a slot.
+//
+// Every per-IO operation — Enqueue, Select, Commit, Complete — and every
+// tenant activation or deactivation is O(1) in the number of REGISTERED
+// tenants: the per-tenant virtual-slot allotment is not pushed to all
+// tenants when the contender count changes (that loop is quadratic under
+// churny 100k-tenant populations) but derived lazily from an epoch-stamped
+// global share, reconciled per tenant the next time its slot state is
+// touched. The eager loop is retained behind Config.EagerRedistribute so a
+// differential test can pin the two modes to byte-identical decisions.
 package sched
 
 import (
@@ -14,6 +24,19 @@ import (
 type Config struct {
 	Quantum int64 // DRR quantum per round (128KB, the maximum IO size)
 	Slots   vslot.Config
+
+	// ClassWeights maps QoS class index (nvme.Tenant.Class) to the DRR
+	// weight of that class at the top level of the hierarchy. Empty or
+	// single-entry keeps the flat single-class scheduler, which is
+	// decision-for-decision identical to the paper's §3.5 DRR. Weights
+	// below 1 are clamped to 1.
+	ClassWeights []int
+
+	// EagerRedistribute restores the original allotment loop that walks
+	// every registered tenant on each contend/release. It exists only so
+	// the differential test can pin lazy reconciliation to byte-identical
+	// scheduling decisions; production paths leave it false.
+	EagerRedistribute bool
 }
 
 // DefaultConfig returns the paper's settings.
@@ -71,6 +94,7 @@ func (q *ioQueue) pop() *nvme.IO {
 // tenant is the scheduler's per-tenant state.
 type tenant struct {
 	t      *nvme.Tenant
+	owner  *DRR // which scheduler's state this is (nvme.Tenant.State cache)
 	queues [nvme.NumPriorities]ioQueue
 	queued int
 
@@ -80,6 +104,18 @@ type tenant struct {
 
 	deficit int64
 	slots   *vslot.Tenant
+
+	// allotGen stamps the redistribution epoch whose global share this
+	// tenant's slot allotment reflects; reconcile applies the current
+	// share when the stamp is stale.
+	allotGen uint64
+
+	// class is the QoS class the tenant was registered into.
+	class *class
+
+	// allIdx is the tenant's position in DRR.all (swap-removed on
+	// Unregister so teardown is O(1) in registered tenants).
+	allIdx int
 
 	where listKind
 
@@ -184,20 +220,104 @@ func (l *tenantList) moveToBack(ts *tenant) {
 	l.pushBack(ts)
 }
 
+// class is one QoS class: the middle level of the hierarchy. Its active
+// list holds only tenants with queued work, so the switch round-robins
+// over a handful of classes regardless of the registered population.
+type class struct {
+	weight  int
+	active  tenantList
+	deficit int64
+
+	// Intrusive links on the scheduler's active-class ring.
+	next, prev *class
+	onRing     bool
+}
+
+// classList is an intrusive doubly-linked list of classes with work.
+type classList struct {
+	head, tail *class
+	size       int
+}
+
+func (l *classList) pushBack(c *class) {
+	if c.onRing {
+		panic("sched: class already on active ring")
+	}
+	c.onRing = true
+	c.prev = l.tail
+	c.next = nil
+	if l.tail != nil {
+		l.tail.next = c
+	} else {
+		l.head = c
+	}
+	l.tail = c
+	l.size++
+}
+
+func (l *classList) remove(c *class) {
+	if !c.onRing {
+		return
+	}
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		l.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else {
+		l.tail = c.prev
+	}
+	c.next, c.prev = nil, nil
+	c.onRing = false
+	l.size--
+}
+
+func (l *classList) moveToBack(c *class) {
+	if c == l.tail {
+		return
+	}
+	l.remove(c)
+	l.pushBack(c)
+}
+
 // DRR is the hierarchical fair scheduler. It owns queueing and fairness
 // only; the switch couples it to the rate controller and the device.
 type DRR struct {
 	cfg      Config
 	weighted func(io *nvme.IO) int64 // cost-weighted size (from writecost)
 
-	tenants    map[*nvme.Tenant]*tenant
-	activeList tenantList
-	deferCount int
-	activeIO   int // tenants considered "contending" for slot distribution
+	tenants map[*nvme.Tenant]*tenant
 
-	// all mirrors the tenants map as a slice so redistribute — which runs
-	// on every contend/release — avoids map iteration.
+	// classes is the fixed QoS hierarchy; activeClasses rings the classes
+	// that currently hold tenants with queued work. flat marks the
+	// single-class degenerate case, where the class layer adds no deficit
+	// accounting and the scheduler is decision-identical to flat DRR.
+	classes       []*class
+	activeClasses classList
+	flat          bool
+
+	activeCount int // tenants on any class's active list
+	deferCount  int
+	queuedTotal int
+	activeIO    int // tenants considered "contending" for slot distribution
+
+	// Lazy redistribution state: per is the current per-contender slot
+	// share and gen the epoch it belongs to. Every contend/release bumps
+	// gen (even when per is unchanged, mirroring the eager loop's
+	// unconditional restamp) and tenants reconcile on next touch.
+	gen uint64
+	per int
+
+	// all mirrors the tenants map as a slice. The hot path never walks
+	// it; it exists for the eager differential mode and O(1) swap-removal
+	// bookkeeping on Unregister.
 	all []*tenant
+
+	// freeTenants recycles per-tenant state across Unregister/Register so
+	// sustained tenant churn performs no steady-state allocation.
+	freeTenants []*tenant
 
 	// now, when set via SetClock, timestamps deferred-list residency so
 	// IOs carry their virtual-slot wait (nvme.IO.VslotWait). Nil disables
@@ -208,39 +328,103 @@ type DRR struct {
 // New returns a DRR scheduler. weighted computes the cost-weighted size of
 // an IO at dispatch time.
 func New(cfg Config, weighted func(io *nvme.IO) int64) *DRR {
-	return &DRR{
+	d := &DRR{
 		cfg:      cfg,
 		weighted: weighted,
 		tenants:  make(map[*nvme.Tenant]*tenant),
+		per:      cfg.Slots.MaxSlots,
 	}
+	weights := cfg.ClassWeights
+	if len(weights) == 0 {
+		weights = []int{1}
+	}
+	for _, w := range weights {
+		if w < 1 {
+			w = 1
+		}
+		d.classes = append(d.classes, &class{weight: w})
+	}
+	d.flat = len(d.classes) == 1
+	return d
 }
 
 // SetClock attaches the scheduler clock used to attribute deferred-list
 // residency to IOs (phase tracing). Call before traffic.
 func (d *DRR) SetClock(now func() int64) { d.now = now }
 
+// classOf maps a tenant to its QoS class, clamping out-of-range indices.
+func (d *DRR) classOf(t *nvme.Tenant) *class {
+	c := t.Class
+	if c < 0 || c >= len(d.classes) {
+		c = 0
+	}
+	return d.classes[c]
+}
+
 // Register adds a tenant.
 func (d *DRR) Register(t *nvme.Tenant) {
 	if _, ok := d.tenants[t]; ok {
 		return
 	}
-	ts := &tenant{
-		t:          t,
-		slots:      vslot.NewTenant(d.cfg.Slots),
-		prioBudget: nvme.PriorityHigh.Weight(),
+	var ts *tenant
+	if n := len(d.freeTenants); n > 0 {
+		ts = d.freeTenants[n-1]
+		d.freeTenants = d.freeTenants[:n-1]
+		ts.slots.Reset()
+	} else {
+		ts = &tenant{slots: vslot.NewTenant(d.cfg.Slots)}
 	}
+	ts.t = t
+	ts.prio = nvme.PriorityHigh
+	ts.prioBudget = nvme.PriorityHigh.Weight()
+	ts.deficit = 0
+	ts.class = d.classOf(t)
+	// The fresh vslot state carries the solo allotment (MaxSlots) until
+	// the next redistribution epoch, exactly as under the eager loop
+	// (which never touched a tenant at registration either).
+	ts.allotGen = d.gen
+	ts.allIdx = len(d.all)
+	ts.where = idle
+	ts.deferStart, ts.deferAccum = 0, 0
+	ts.owner = d
 	d.tenants[t] = ts
 	d.all = append(d.all, ts)
+	// Cache the state on the tenant so per-IO lookups skip the map (flat
+	// cost regardless of the registered population). A tenant registered
+	// with several schedulers keeps only the latest cache; the others fall
+	// back to their maps.
+	t.State = ts
 }
 
-// Slots exposes a tenant's virtual-slot state (for credit computation).
-// It returns nil for tenants that were never registered or have been
-// unregistered.
+// lookup resolves a tenant's scheduler state: the cached pointer on the
+// tenant when this scheduler owns it, else the map (shared tenants,
+// unregistered tenants → nil).
+func (d *DRR) lookup(t *nvme.Tenant) *tenant {
+	if ts, ok := t.State.(*tenant); ok && ts.owner == d && ts.t == t {
+		return ts
+	}
+	return d.tenants[t]
+}
+
+// reconcile applies the current global slot share to one tenant if its
+// stamp is stale. This is the whole of the "redistribution" work a hot-path
+// operation performs: two word compares in the common case.
+func (d *DRR) reconcile(ts *tenant) {
+	if ts.allotGen != d.gen {
+		ts.slots.SetAllot(d.per)
+		ts.allotGen = d.gen
+	}
+}
+
+// Slots exposes a tenant's virtual-slot state (for credit computation),
+// reconciled to the current redistribution epoch. It returns nil for
+// tenants that were never registered or have been unregistered.
 func (d *DRR) Slots(t *nvme.Tenant) *vslot.Tenant {
-	ts, ok := d.tenants[t]
-	if !ok {
+	ts := d.lookup(t)
+	if ts == nil {
 		return nil
 	}
+	d.reconcile(ts)
 	return ts.slots
 }
 
@@ -255,7 +439,8 @@ func (d *DRR) Registered(t *nvme.Tenant) bool {
 // to the redistribution pool, and its vslot state is dropped wholesale so
 // no credit can remain stranded. Queued IOs are returned for the caller to
 // abort; IOs already committed to the device complete through Complete,
-// which tolerates the missing tenant.
+// which tolerates the missing tenant. The teardown is O(1) in registered
+// tenants (plus the tenant's own queued IOs).
 func (d *DRR) Unregister(t *nvme.Tenant) []*nvme.IO {
 	ts, ok := d.tenants[t]
 	if !ok {
@@ -268,17 +453,23 @@ func (d *DRR) Unregister(t *nvme.Tenant) []*nvme.IO {
 			orphans = append(orphans, q.pop())
 		}
 	}
+	d.queuedTotal -= ts.queued
 	ts.queued = 0
 	if ts.where != idle {
 		d.idle_(ts) // leaves the lists and releases the slot share
 	}
 	delete(d.tenants, t)
-	for i, x := range d.all {
-		if x == ts {
-			d.all = append(d.all[:i], d.all[i+1:]...)
-			break
-		}
+	last := len(d.all) - 1
+	d.all[ts.allIdx] = d.all[last]
+	d.all[ts.allIdx].allIdx = ts.allIdx
+	d.all[last] = nil
+	d.all = d.all[:last]
+	if cached, ok := t.State.(*tenant); ok && cached == ts {
+		t.State = nil
 	}
+	ts.t = nil
+	ts.owner = nil
+	d.freeTenants = append(d.freeTenants, ts)
 	d.redistribute()
 	return orphans
 }
@@ -288,8 +479,8 @@ func (d *DRR) Unregister(t *nvme.Tenant) []*nvme.IO {
 // tenant is not registered (e.g. an in-flight capsule arriving after its
 // session disconnected).
 func (d *DRR) Enqueue(io *nvme.IO) bool {
-	ts, ok := d.tenants[io.Tenant]
-	if !ok {
+	ts := d.lookup(io.Tenant)
+	if ts == nil {
 		return false
 	}
 	if d.now != nil {
@@ -305,8 +496,10 @@ func (d *DRR) Enqueue(io *nvme.IO) bool {
 	wasEmpty := ts.empty()
 	ts.queues[io.Priority].push(io)
 	ts.queued++
+	d.queuedTotal++
 	if wasEmpty && ts.where == idle {
 		d.contend(ts)
+		d.reconcile(ts)
 		if ts.slots.Reopen() {
 			d.activate(ts)
 		} else {
@@ -316,8 +509,9 @@ func (d *DRR) Enqueue(io *nvme.IO) bool {
 	return true
 }
 
-// contend marks the tenant as competing for the device and rebalances slot
-// allotments so that every contender holds an equal share (§3.5).
+// contend marks the tenant as competing for the device and opens a new
+// redistribution epoch so that every contender holds an equal share
+// (§3.5). No tenant state is touched here; shares apply lazily.
 func (d *DRR) contend(ts *tenant) {
 	d.activeIO++
 	d.redistribute()
@@ -331,6 +525,9 @@ func (d *DRR) release(ts *tenant) {
 	_ = ts
 }
 
+// redistribute recomputes the global per-contender share and opens a new
+// epoch. O(1): no tenant is visited. The eager mode restores the original
+// walk over every registered tenant (differential testing only).
 func (d *DRR) redistribute() {
 	n := d.activeIO
 	if n < 1 {
@@ -340,9 +537,37 @@ func (d *DRR) redistribute() {
 	if per < 1 {
 		per = 1
 	}
-	for _, ts := range d.all {
-		ts.slots.SetAllot(per)
+	d.per = per
+	d.gen++
+	if d.cfg.EagerRedistribute {
+		for _, ts := range d.all {
+			ts.slots.SetAllot(per)
+			ts.allotGen = d.gen
+		}
 	}
+}
+
+// pushActive places a tenant on its class's active list, waking the class
+// ring entry when the class had no runnable tenant.
+func (d *DRR) pushActive(ts *tenant) {
+	c := ts.class
+	if c.active.size == 0 {
+		d.activeClasses.pushBack(c)
+	}
+	c.active.pushBack(ts)
+	d.activeCount++
+}
+
+// removeActive is the inverse of pushActive; an emptied class leaves the
+// ring with its deficit reset (same rule as an idling tenant).
+func (d *DRR) removeActive(ts *tenant) {
+	c := ts.class
+	c.active.remove(ts)
+	if c.active.size == 0 {
+		d.activeClasses.remove(c)
+		c.deficit = 0
+	}
+	d.activeCount--
 }
 
 func (d *DRR) activate(ts *tenant) {
@@ -350,12 +575,12 @@ func (d *DRR) activate(ts *tenant) {
 		ts.deferAccum += d.now() - ts.deferStart
 	}
 	ts.where = active
-	d.activeList.pushBack(ts)
+	d.pushActive(ts)
 }
 
 func (d *DRR) defer_(ts *tenant) {
 	if ts.where == active {
-		d.activeList.remove(ts)
+		d.removeActive(ts)
 	}
 	if ts.where != deferred && d.now != nil {
 		ts.deferStart = d.now()
@@ -367,7 +592,7 @@ func (d *DRR) defer_(ts *tenant) {
 
 func (d *DRR) idle_(ts *tenant) {
 	if ts.where == active {
-		d.activeList.remove(ts)
+		d.removeActive(ts)
 	}
 	if ts.where == deferred {
 		d.deferCount--
@@ -380,14 +605,17 @@ func (d *DRR) idle_(ts *tenant) {
 	d.release(ts)
 }
 
-// Select runs DRR rounds until the head tenant has accumulated enough
-// deficit for its next IO, returning that IO without dequeuing it. It
-// returns nil when no active tenant has queued work. Select is idempotent
-// once a dispatchable IO is found: calling it again without Commit returns
-// the same IO with no extra deficit.
+// Select runs DRR rounds until the head class's head tenant has
+// accumulated enough deficit for its next IO, returning that IO without
+// dequeuing it. It returns nil when no active tenant has queued work.
+// Select is idempotent once a dispatchable IO is found: calling it again
+// without Commit returns the same IO with no extra deficit. In the flat
+// (single-class) configuration the class layer performs no deficit
+// accounting and the loop is the paper's §3.5 DRR verbatim.
 func (d *DRR) Select() *nvme.IO {
-	for d.activeList.size > 0 {
-		ts := d.activeList.head
+	for d.activeClasses.size > 0 {
+		c := d.activeClasses.head
+		ts := c.active.head
 		io := ts.head()
 		if io == nil {
 			// No queued work: leave the lists entirely.
@@ -395,31 +623,44 @@ func (d *DRR) Select() *nvme.IO {
 			continue
 		}
 		w := d.weighted(io)
-		if ts.deficit >= w {
+		if ts.deficit < w {
+			// Grant a quantum and move to the back (classic DRR round).
+			ts.deficit += d.cfg.Quantum * int64(ts.t.Weight)
+			c.active.moveToBack(ts)
+			continue
+		}
+		if d.flat || c.deficit >= w {
 			return io
 		}
-		// Grant a quantum and move to the back (classic DRR round).
-		ts.deficit += d.cfg.Quantum * int64(ts.t.Weight)
-		d.activeList.moveToBack(ts)
+		// Class-level round: grant the class its weighted quantum and
+		// rotate the ring.
+		c.deficit += d.cfg.Quantum * int64(c.weight)
+		d.activeClasses.moveToBack(c)
 	}
 	return nil
 }
 
 // Commit dequeues the IO returned by Select, charges its weighted size to
-// the tenant's deficit, and places it in the tenant's current virtual slot.
-// If the slot closes with no replacement available, the tenant moves to the
-// deferred list. The IO's slot is recorded in io.Sched for Complete.
+// the tenant's (and class's) deficit, and places it in the tenant's current
+// virtual slot. If the slot closes with no replacement available, the
+// tenant moves to the deferred list. The IO's slot is recorded in io.Sched
+// for Complete.
 func (d *DRR) Commit(io *nvme.IO) {
-	ts := d.tenants[io.Tenant]
+	ts := d.lookup(io.Tenant)
 	w := d.weighted(io)
 	ts.pop(io)
+	d.queuedTotal--
 	ts.deficit -= w
+	if !d.flat {
+		ts.class.deficit -= w
+	}
 	if d.now != nil {
 		// The tenant is active here (Select found it on the active
 		// list), so deferAccum is up to date: the delta since Enqueue is
 		// exactly the deferral overlapping this IO's queue residency.
 		io.VslotWait = ts.deferAccum - io.VslotWait
 	}
+	d.reconcile(ts)
 	io.Sched = ts.slots.Submit(w)
 	if !ts.slots.HasOpenSlot() {
 		d.defer_(ts)
@@ -432,12 +673,13 @@ func (d *DRR) Commit(io *nvme.IO) {
 // Sched_Complete). A deferred tenant whose slot freed rejoins the end of
 // the active list. It returns the tenant's refreshed credit.
 func (d *DRR) Complete(io *nvme.IO) (credit uint32) {
-	ts, ok := d.tenants[io.Tenant]
-	if !ok {
+	ts := d.lookup(io.Tenant)
+	if ts == nil {
 		// Tenant unregistered while the IO was at the device: its vslot
 		// state is gone, so there is no credit to refresh.
 		return 0
 	}
+	d.reconcile(ts)
 	slot := io.Sched.(*vslot.Slot)
 	freed, _ := ts.slots.Complete(slot)
 	if freed && ts.where == deferred {
@@ -450,20 +692,38 @@ func (d *DRR) Complete(io *nvme.IO) (credit uint32) {
 			d.idle_(ts)
 		}
 	}
+	// idle_ above may have released the tenant's contention and opened a
+	// new epoch; the credit piggybacked on this completion must reflect
+	// the share the remaining contenders now hold.
+	d.reconcile(ts)
 	return ts.slots.Credit()
 }
 
-// ActiveTenants returns the number of tenants on the active list.
-func (d *DRR) ActiveTenants() int { return d.activeList.size }
+// ActiveTenants returns the number of tenants on the active lists. O(1):
+// reads a maintained counter.
+func (d *DRR) ActiveTenants() int { return d.activeCount }
 
-// DeferredTenants returns the number of deferred tenants.
+// DeferredTenants returns the number of deferred tenants. O(1).
 func (d *DRR) DeferredTenants() int { return d.deferCount }
 
-// Queued returns the total queued IO count (for tests and stats).
-func (d *DRR) Queued() int {
-	n := 0
-	for _, ts := range d.all {
-		n += ts.queued
+// Queued returns the total queued IO count (for tests and stats). O(1):
+// reads a maintained counter instead of scanning registered tenants.
+func (d *DRR) Queued() int { return d.queuedTotal }
+
+// RegisteredTenants returns the registered-tenant population. O(1).
+func (d *DRR) RegisteredTenants() int { return len(d.all) }
+
+// SlotShare returns the current per-contender virtual-slot share (the
+// lazy redistribution target every touched tenant reconciles to).
+func (d *DRR) SlotShare() int { return d.per }
+
+// Classes returns the number of QoS classes in the hierarchy.
+func (d *DRR) Classes() int { return len(d.classes) }
+
+// ClassActive returns the number of runnable tenants in class i.
+func (d *DRR) ClassActive(i int) int {
+	if i < 0 || i >= len(d.classes) {
+		return 0
 	}
-	return n
+	return d.classes[i].active.size
 }

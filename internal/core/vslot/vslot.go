@@ -59,6 +59,30 @@ func NewTenant(cfg Config) *Tenant {
 	return t
 }
 
+// Reset reinitializes the slot state to NewTenant's (full allotment, one
+// open slot, initial credit basis), recycling drained slots already in the
+// free pool. It lets a scheduler reuse per-tenant state across tenant
+// churn without allocating. Slots still referenced by in-flight IOs of the
+// previous owner drain against this state exactly as they would against a
+// re-registered tenant (the tolerated-completion rule).
+func (t *Tenant) Reset() {
+	t.allot = t.cfg.MaxSlots
+	t.lastCount = t.cfg.InitialCount
+	switch {
+	case t.cur != nil && t.cur.submits == t.cur.completions:
+		// The open slot has no in-flight IOs: safe to keep as-is (its
+		// counters are already balanced — zeroing would race nothing).
+		*t.cur = Slot{}
+	case len(t.free) > 0:
+		n := len(t.free)
+		t.cur = t.free[n-1]
+		t.free = t.free[:n-1]
+	default:
+		t.cur = &Slot{}
+	}
+	t.inUse = 1
+}
+
 // SetAllot updates the tenant's slot allotment (at least 1: every tenant
 // must be able to perform IO, §3.5). Slots already in use beyond a reduced
 // allotment drain naturally.

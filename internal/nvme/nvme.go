@@ -152,6 +152,11 @@ type Tenant struct {
 	Name   string
 	Weight int // DRR share weight (1 for all paper experiments)
 
+	// Class is the QoS class index for hierarchical scheduling (tenant →
+	// class → switch). Schedulers with a single class ignore it; the DRR
+	// clamps out-of-range values to class 0.
+	Class int
+
 	// State is per-tenant scratch owned by the active scheduler.
 	State any
 }

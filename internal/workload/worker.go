@@ -1,8 +1,10 @@
 // Package workload provides the synthetic load generators of the
 // evaluation: fio-style closed/open-loop block workers (IO size, read/write
 // mix, random/sequential, queue depth, rate caps, priority tags), Zipfian
-// and latest key distributions, and the YCSB A/B/C/D/F drivers used by the
-// key-value store experiments.
+// and latest key distributions, the YCSB A/B/C/D/F drivers used by the
+// key-value store experiments, and the population-scale scenario engine
+// (Scenario: 100k+ registered tenants with Zipf activity, Poisson open-loop
+// arrivals under a diurnal curve, and tenant join/leave churn).
 package workload
 
 import (
@@ -33,6 +35,7 @@ type Profile struct {
 	QD        int  // concurrent IOs (closed loop)
 	Seq       bool // sequential vs uniform random offsets
 	Priority  nvme.Priority
+	Class     int // QoS class (hierarchical DRR); 0 = default class
 
 	// RateLimitBps caps the stream's submission rate (0 = unlimited);
 	// used by Fig 9's rate-limited workers.
