@@ -23,6 +23,12 @@
 // SLO attainment, burn rate) every interval until interrupted.
 //
 //	gimbalcli top -admin 127.0.0.1:9420 -interval 1s [-n 10]
+//
+// The volume subcommand provisions against the daemon's CSI-shaped
+// control plane: create/list/resize volumes, cut snapshots, clone them,
+// and delete either — see volume.go.
+//
+//	gimbalcli volume create -admin 127.0.0.1:9420 -name v0 -size 1G -class gold
 package main
 
 import (
@@ -50,6 +56,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "top" {
 		topMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "volume" {
+		volumeMain(os.Args[2:])
 		return
 	}
 	var (

@@ -56,6 +56,7 @@ import (
 	"gimbal/internal/obs"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
+	"gimbal/internal/volume"
 )
 
 func main() {
@@ -77,6 +78,7 @@ func main() {
 		faults    = flag.String("faults", "", "JSON fault plan armed at startup (SSD faults only)")
 		recovery  = flag.Bool("recovery", true, "enable fail-fast + graceful degradation on the gimbal scheme")
 		classW    = flag.String("class-weights", "", "comma-separated QoS class weights for the gimbal scheduler (e.g. 4,2,1); empty = flat single-class DRR")
+		qosFlag   = flag.String("qos-classes", "", "named QoS classes for the volume control plane and scheduler (e.g. gold=8,silver=4,besteffort=1); supersedes -class-weights")
 		eager     = flag.Bool("eager-redistribute", false, "use the O(tenants) eager vslot redistribution loop instead of the lazy epoch-stamped path (debugging/differential runs)")
 	)
 	flag.Parse()
@@ -86,7 +88,22 @@ func main() {
 		log.Fatal(err)
 	}
 	tcfg := fabric.DefaultTargetConfig(sch)
-	if *classW != "" {
+	// -qos-classes is the one-stop policy knob: it names the volume QoS
+	// menu AND compiles the scheduler's class weights. The raw
+	// -class-weights flag remains for weight-only runs without the volume
+	// layer's class names.
+	classes := volume.DefaultClasses()
+	if *qosFlag != "" {
+		if *classW != "" {
+			log.Fatalf("-qos-classes and -class-weights are mutually exclusive")
+		}
+		cs, err := volume.ParseClasses(*qosFlag)
+		if err != nil {
+			log.Fatalf("-qos-classes: %v", err)
+		}
+		classes = cs
+		tcfg.Gimbal.Sched.ClassWeights = cs.Compile().ClassWeights
+	} else if *classW != "" {
 		weights, err := parseClassWeights(*classW)
 		if err != nil {
 			log.Fatalf("-class-weights: %v", err)
@@ -285,8 +302,11 @@ func main() {
 	}
 
 	var adminSrv *http.Server
+	var vols *volumeServer
 	if *admin != "" {
 		mux := fabric.AdminMuxMetrics(lc, target, hub, mw)
+		vols = newVolumeServer(classes, *ssds, *capacity)
+		vols.register(mux)
 		if rsrv != nil {
 			mux.HandleFunc("/reactors", func(w http.ResponseWriter, r *http.Request) {
 				w.Header().Set("Content-Type", "application/json")
@@ -316,13 +336,18 @@ func main() {
 			*ssds, condition, byteSize(*capacity), sch, srv.Addr(), R)
 	}
 	if *admin != "" {
-		fmt.Printf("gimbald: observability on http://%s (/metrics /stats /trace /slo /debug/pprof)\n", *admin)
+		fmt.Printf("gimbald: observability on http://%s (/metrics /stats /trace /slo /volumes /snapshots /debug/pprof)\n", *admin)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down: draining in-flight IO (up to %s)", *drain)
+	// Provisioning closes first: in-flight IO may still drain, but no new
+	// volumes appear on a daemon that is going away.
+	if vols != nil {
+		vols.Drain()
+	}
 	if adminSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		_ = adminSrv.Shutdown(ctx)

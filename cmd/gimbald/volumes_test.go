@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gimbal/internal/volume"
+)
+
+func newTestVolumeAPI(t *testing.T) (*volumeServer, *httptest.Server) {
+	t.Helper()
+	classes, err := volume.ParseClasses("gold=8,silver=4,besteffort=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := newVolumeServer(classes, 2, 1<<30)
+	mux := http.NewServeMux()
+	vs.register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return vs, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	if out != nil && rsp.StatusCode < 300 && rsp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(rsp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rsp.StatusCode
+}
+
+// TestVolumeEndpoints drives the full CSI-shaped lifecycle over HTTP:
+// create, snapshot, clone, conflict and capacity errors, delete ordering,
+// and the status-code mapping for each sentinel.
+func TestVolumeEndpoints(t *testing.T) {
+	_, srv := newTestVolumeAPI(t)
+	base := srv.URL
+
+	var v volumeInfo
+	if got := doJSON(t, "POST", base+"/volumes", createVolumeReq{Name: "v0", SizeBytes: 64 << 20, QoSClass: "gold"}, &v); got != http.StatusCreated {
+		t.Fatalf("create: %d", got)
+	}
+	if v.Name != "v0" || v.QoSClass != "gold" {
+		t.Fatalf("create reply: %+v", v)
+	}
+	// Duplicate name and unknown class are client errors.
+	if got := doJSON(t, "POST", base+"/volumes", createVolumeReq{Name: "v0", SizeBytes: 1 << 20}, nil); got != http.StatusConflict {
+		t.Fatalf("duplicate create: %d, want 409", got)
+	}
+	if got := doJSON(t, "POST", base+"/volumes", createVolumeReq{Name: "v1", SizeBytes: 1 << 20, QoSClass: "platinum"}, nil); got != http.StatusBadRequest {
+		t.Fatalf("unknown class: %d, want 400", got)
+	}
+	// Past the 4× thin budget on 2 × 1GB backends.
+	if got := doJSON(t, "POST", base+"/volumes", createVolumeReq{Name: "big", SizeBytes: 10 << 30}, nil); got != http.StatusInsufficientStorage {
+		t.Fatalf("over capacity: %d, want 507", got)
+	}
+
+	var s snapshotInfo
+	if got := doJSON(t, "POST", base+"/volumes/v0/snapshots", snapshotReq{Name: "s0"}, &s); got != http.StatusCreated {
+		t.Fatalf("snapshot: %d", got)
+	}
+	var c volumeInfo
+	if got := doJSON(t, "POST", base+"/snapshots/s0/clones", cloneReq{Name: "c0", QoSClass: "silver"}, &c); got != http.StatusCreated {
+		t.Fatalf("clone: %d", got)
+	}
+	if c.Parent != "s0" || c.QoSClass != "silver" {
+		t.Fatalf("clone reply: %+v", c)
+	}
+	// A snapshot with live clones cannot be deleted.
+	if got := doJSON(t, "DELETE", base+"/snapshots/s0", nil, nil); got != http.StatusConflict {
+		t.Fatalf("delete pinned snapshot: %d, want 409", got)
+	}
+	if got := doJSON(t, "POST", base+"/volumes/v0/resize", resizeReq{SizeBytes: 128 << 20}, &v); got != http.StatusOK || v.SizeBytes != 128<<20 {
+		t.Fatalf("resize: %d %+v", got, v)
+	}
+
+	var listing struct {
+		Usage   volume.Usage `json:"usage"`
+		Volumes []volumeInfo `json:"volumes"`
+	}
+	if got := doJSON(t, "GET", base+"/volumes", nil, &listing); got != http.StatusOK {
+		t.Fatalf("list: %d", got)
+	}
+	if len(listing.Volumes) != 2 || listing.Usage.Volumes != 2 || listing.Usage.Snapshots != 1 {
+		t.Fatalf("listing: %+v", listing)
+	}
+	if listing.Usage.LogicalBytes != (128<<20)+(64<<20) {
+		t.Fatalf("logical bytes: %d", listing.Usage.LogicalBytes)
+	}
+
+	// Teardown in dependency order; 404 after.
+	if got := doJSON(t, "DELETE", base+"/volumes/c0", nil, nil); got != http.StatusNoContent {
+		t.Fatalf("delete clone: %d", got)
+	}
+	if got := doJSON(t, "DELETE", base+"/snapshots/s0", nil, nil); got != http.StatusNoContent {
+		t.Fatalf("delete snapshot: %d", got)
+	}
+	if got := doJSON(t, "DELETE", base+"/volumes/v0", nil, nil); got != http.StatusNoContent {
+		t.Fatalf("delete volume: %d", got)
+	}
+	if got := doJSON(t, "GET", base+"/volumes/v0", nil, nil); got != http.StatusNotFound {
+		t.Fatalf("lookup deleted: %d, want 404", got)
+	}
+
+	var classes []struct {
+		Name   string `json:"name"`
+		Weight int    `json:"weight"`
+	}
+	if got := doJSON(t, "GET", base+"/qos-classes", nil, &classes); got != http.StatusOK {
+		t.Fatalf("qos-classes: %d", got)
+	}
+	if len(classes) != 3 || classes[0].Name != "gold" || classes[0].Weight != 8 {
+		t.Fatalf("classes: %+v", classes)
+	}
+}
+
+// TestVolumeDrain pins the graceful-drain contract: after Drain, every
+// mutation returns 503 while reads keep serving.
+func TestVolumeDrain(t *testing.T) {
+	vs, srv := newTestVolumeAPI(t)
+	base := srv.URL
+	if got := doJSON(t, "POST", base+"/volumes", createVolumeReq{Name: "v0", SizeBytes: 1 << 20}, nil); got != http.StatusCreated {
+		t.Fatalf("create before drain: %d", got)
+	}
+	vs.Drain()
+	for _, m := range []struct{ method, path string }{
+		{"POST", "/volumes"},
+		{"DELETE", "/volumes/v0"},
+		{"POST", "/volumes/v0/resize"},
+		{"POST", "/volumes/v0/snapshots"},
+		{"POST", "/snapshots/s0/clones"},
+	} {
+		if got := doJSON(t, m.method, base+m.path, map[string]any{}, nil); got != http.StatusServiceUnavailable {
+			t.Errorf("%s %s while draining: %d, want 503", m.method, m.path, got)
+		}
+	}
+	var listing struct {
+		Volumes []volumeInfo `json:"volumes"`
+	}
+	if got := doJSON(t, "GET", base+"/volumes", nil, &listing); got != http.StatusOK || len(listing.Volumes) != 1 {
+		t.Fatalf("read while draining: %d %+v", got, listing)
+	}
+}

@@ -41,7 +41,11 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		st, err := jbof.StartWorkload(0, gimbal.WithWorkload(c.w))
+		ssd0, err := jbof.WholeSSDVolume(0)
+		if err != nil {
+			panic(err)
+		}
+		st, err := ssd0.StartWorkload(gimbal.WithWorkload(c.w))
 		if err != nil {
 			panic(err)
 		}
@@ -59,10 +63,14 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		ssd0, err := jbof.WholeSSDVolume(0)
+		if err != nil {
+			panic(err)
+		}
 		streams := map[string][]*gimbal.Stream{}
 		for _, c := range classes {
 			for i := 0; i < c.n; i++ {
-				st, err := jbof.StartWorkload(0, gimbal.WithWorkload(c.w))
+				st, err := ssd0.StartWorkload(gimbal.WithWorkload(c.w))
 				if err != nil {
 					panic(err)
 				}

@@ -8,6 +8,11 @@
 // tenants to the same number of virtual slots and restores the victim's
 // share and tail latency.
 //
+// Volumes are the unit of provisioning: here both tenants attach to the
+// whole-SSD identity volume (the raw device, exactly the paper scenario),
+// and a short coda provisions a managed thin volume to show the
+// snapshot/clone control plane.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -30,14 +35,18 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		ssd0, err := jbof.WholeSSDVolume(0)
+		if err != nil {
+			panic(err)
+		}
 
-		victim, err := jbof.StartWorkload(0,
+		victim, err := ssd0.StartWorkload(
 			gimbal.WithWorkloadName("victim"), gimbal.WithReadFraction(1),
 			gimbal.WithIOSize(4096), gimbal.WithQueueDepth(32))
 		if err != nil {
 			panic(err)
 		}
-		bully, err := jbof.StartWorkload(0,
+		bully, err := ssd0.StartWorkload(
 			gimbal.WithWorkloadName("bully"), gimbal.WithReadFraction(1),
 			gimbal.WithIOSize(128<<10), gimbal.WithQueueDepth(32))
 		if err != nil {
@@ -55,7 +64,7 @@ func main() {
 			victim.ReadLatency().Avg.Round(time.Microsecond),
 			victim.ReadLatency().P999.Round(time.Microsecond))
 		fmt.Printf("bully (128KB read QD32): %6.0f MB/s\n", bully.BandwidthMBps())
-		if v, err := jbof.View(0); err == nil {
+		if v, err := ssd0.View(); err == nil {
 			fmt.Printf("virtual view: target rate %.0f MB/s, write cost %.1f, "+
 				"victim credit headroom %d\n",
 				v.TargetRateMBps, v.WriteCost, victim.CreditHeadroom())
@@ -67,4 +76,50 @@ func main() {
 	fmt.Println("Gimbal's virtual slots equalize SSD queue occupancy: the victim regains")
 	fmt.Println("several times its bandwidth and sheds milliseconds of tail latency, while")
 	fmt.Println("the aggressor gives up only its unfair surplus.")
+	fmt.Println()
+
+	// Coda: the managed-volume control plane. A thin gold-class volume
+	// takes a write workload, a snapshot pins its image, and a writable
+	// clone shares extents copy-on-write until its own first writes.
+	s := gimbal.NewSim(42)
+	jbof, err := s.NewJBOF(
+		gimbal.WithScheme(gimbal.SchemeGimbal),
+		gimbal.WithSSDs(2),
+		gimbal.WithQoSClasses("gold=8,silver=4,besteffort=1"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	vol, err := jbof.CreateVolume("app", 256<<20, gimbal.WithQoSClass("gold"))
+	if err != nil {
+		panic(err)
+	}
+	writer, err := vol.StartWorkload(
+		gimbal.WithWorkloadName("app-writer"), gimbal.WithReadFraction(0),
+		gimbal.WithIOSize(64<<10), gimbal.WithQueueDepth(8))
+	if err != nil {
+		panic(err)
+	}
+	s.Run(500 * time.Millisecond)
+	snap, err := vol.Snapshot("app@t0")
+	if err != nil {
+		panic(err)
+	}
+	clone, err := snap.Clone("app-dev", gimbal.WithQoSClass("besteffort"))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := clone.StartWorkload(
+		gimbal.WithWorkloadName("dev-writer"), gimbal.WithReadFraction(0),
+		gimbal.WithIOSize(64<<10), gimbal.WithQueueDepth(4)); err != nil {
+		panic(err)
+	}
+	s.Run(500 * time.Millisecond)
+	u := jbof.VolumeUsage()
+	fmt.Printf("volumes: %d (+%d snapshot), logical %d MB, allocated %d MB, "+
+		"cow copies %d, writer %.0f MB/s\n",
+		u.Volumes, u.Snapshots, u.LogicalBytes>>20, u.AllocatedBytes>>20,
+		u.CowCopies, writer.BandwidthMBps())
+	fmt.Println("The clone shares the snapshot's extents until its own first write to each:")
+	fmt.Println("only overwritten extents get private copies (the cow copies above).")
 }

@@ -48,6 +48,7 @@ import (
 	"gimbal/internal/nvme"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
+	"gimbal/internal/volume"
 	"gimbal/internal/workload"
 )
 
@@ -152,6 +153,10 @@ type JBOFConfig struct {
 	// P3600 selects the Intel P3600-like device model (§5.8) instead of
 	// the Samsung DCT983 model.
 	P3600 bool
+	// QoSClasses declares named QoS classes as "gold=8,silver=4,..."
+	// (see WithQoSClasses). Empty keeps the scheduler in flat mode with
+	// the default class menu available for volume placement.
+	QoSClasses string
 }
 
 // JBOFOption customizes a JBOF under construction.
@@ -189,6 +194,13 @@ type JBOF struct {
 	streams  []*Stream
 	planSeed uint64
 	nextID   int
+
+	// Volume control plane (lazily built; see volume_api.go).
+	classes   *volume.ClassSet
+	vmgr      *volume.Manager
+	sysTenant *nvme.Tenant
+	sysSess   []*fabric.Session
+	rawVols   map[int]*Volume
 }
 
 // NewJBOF builds and pre-conditions a storage node.
@@ -218,7 +230,14 @@ func (s *Sim) NewJBOF(opts ...JBOFOption) (*JBOF, error) {
 	if cfg.CapacityBytes > 0 {
 		params.UsableBytes = cfg.CapacityBytes
 	}
-	j := &JBOF{sim: s, scheme: scheme}
+	classes := volume.DefaultClasses()
+	if cfg.QoSClasses != "" {
+		classes, err = volume.ParseClasses(cfg.QoSClasses)
+		if err != nil {
+			return nil, volErr(fmt.Errorf("bad qos classes: %w", err))
+		}
+	}
+	j := &JBOF{sim: s, scheme: scheme, classes: classes}
 	var devs []ssd.Device
 	for i := 0; i < cfg.SSDs; i++ {
 		d := ssd.New(s.loop, params)
@@ -228,7 +247,13 @@ func (s *Sim) NewJBOF(opts ...JBOFOption) (*JBOF, error) {
 		j.devices = append(j.devices, d)
 		j.wraps = append(j.wraps, w)
 	}
-	j.target = fabric.NewTarget(s.loop, devs, fabric.DefaultTargetConfig(scheme))
+	tcfg := fabric.DefaultTargetConfig(scheme)
+	if cfg.QoSClasses != "" {
+		// Explicitly declared classes compile into the hierarchical DRR;
+		// the default menu leaves the scheduler flat (paper-identical).
+		tcfg.Gimbal.Sched.ClassWeights = classes.Compile().ClassWeights
+	}
+	j.target = fabric.NewTarget(s.loop, devs, tcfg)
 	j.engine = fault.NewEngine(s.loop, j.wraps)
 	j.engine.Stall = func(ssdIdx, die int, dur int64) error {
 		return j.devices[ssdIdx].InjectDieStall(die, dur)
@@ -248,11 +273,15 @@ func (j *JBOF) checkSSD(ssdIdx int) error {
 }
 
 // Capacity returns the usable bytes of one SSD.
+//
+// Deprecated: volumes are the unit of provisioning now; use
+// Volume.Capacity (WholeSSDVolume(ssdIdx) for a raw device).
 func (j *JBOF) Capacity(ssdIdx int) (int64, error) {
-	if err := j.checkSSD(ssdIdx); err != nil {
+	v, err := j.WholeSSDVolume(ssdIdx)
+	if err != nil {
 		return 0, err
 	}
-	return j.devices[ssdIdx].Capacity(), nil
+	return v.Capacity(), nil
 }
 
 // Priority mirrors the NVMe-oF request priority tag (§3.5).
@@ -313,8 +342,9 @@ func (p RetryPolicy) internal() fabric.RetryPolicy {
 }
 
 type workloadConfig struct {
-	w     Workload
-	retry *fabric.RetryPolicy
+	w       Workload
+	retry   *fabric.RetryPolicy
+	prioSet bool // Priority was chosen explicitly (class defaults step aside)
 }
 
 // WorkloadOption customizes one stream.
@@ -322,7 +352,9 @@ type WorkloadOption func(*workloadConfig)
 
 // WithWorkload replaces the whole description — the struct escape hatch.
 // Options after it still apply on top.
-func WithWorkload(w Workload) WorkloadOption { return func(c *workloadConfig) { c.w = w } }
+func WithWorkload(w Workload) WorkloadOption {
+	return func(c *workloadConfig) { c.w = w; c.prioSet = true }
+}
 
 // WithWorkloadName labels the stream's tenant.
 func WithWorkloadName(name string) WorkloadOption { return func(c *workloadConfig) { c.w.Name = name } }
@@ -345,7 +377,9 @@ func WithRateLimitMBps(mbps float64) WorkloadOption {
 }
 
 // WithPriority sets the NVMe-oF priority tag (§3.5).
-func WithPriority(p Priority) WorkloadOption { return func(c *workloadConfig) { c.w.Priority = p } }
+func WithPriority(p Priority) WorkloadOption {
+	return func(c *workloadConfig) { c.w.Priority = p; c.prioSet = true }
+}
 
 // WithMaxConsecutiveErrs overrides when the stream gives up (see
 // Workload.MaxConsecutiveErrs).
@@ -363,59 +397,26 @@ func WithRetry(p RetryPolicy) WorkloadOption {
 // one SSD. The stream runs until Stop (or for 10 simulated hours). The
 // stream's index in StartWorkload order is its address for fabric fault
 // events (FaultEvent.Stream).
+//
+// Deprecated: volumes are the unit of provisioning now; use
+// Volume.StartWorkload (CreateVolume for a managed volume,
+// WholeSSDVolume(ssdIdx) for the raw device this call targets). This
+// wrapper runs against the auto-provisioned whole-SSD identity volume
+// and behaves exactly as before.
 func (j *JBOF) StartWorkload(ssdIdx int, opts ...WorkloadOption) (*Stream, error) {
-	if err := j.checkSSD(ssdIdx); err != nil {
+	v, err := j.WholeSSDVolume(ssdIdx)
+	if err != nil {
 		return nil, err
 	}
-	var c workloadConfig
-	for _, o := range opts {
-		o(&c)
-	}
-	w := c.w
-	if w.IOSize == 0 {
-		w.IOSize = 4096
-	}
-	if w.QueueDepth == 0 {
-		w.QueueDepth = 1
-	}
-	if w.MaxConsecutiveErrs == 0 {
-		w.MaxConsecutiveErrs = 64
-	} else if w.MaxConsecutiveErrs < 0 {
-		w.MaxConsecutiveErrs = 0
-	}
-	j.nextID++
-	name := w.Name
-	if name == "" {
-		name = fmt.Sprintf("tenant-%d", j.nextID)
-	}
-	tenant := nvme.NewTenant(j.nextID, name)
-	sess := j.target.Connect(tenant, ssdIdx)
-	if c.retry != nil {
-		sess.SetRetryPolicy(*c.retry)
-	}
-	prof := workload.Profile{
-		Name:               name,
-		ReadRatio:          w.Read,
-		IOSize:             w.IOSize,
-		QD:                 w.QueueDepth,
-		Seq:                w.Sequential,
-		Priority:           nvme.Priority(w.Priority),
-		RateLimitBps:       int64(w.RateLimitMBps * 1e6),
-		Span:               j.devices[ssdIdx].Capacity(),
-		MaxConsecutiveErrs: w.MaxConsecutiveErrs,
-	}
-	wk := workload.NewWorker(j.sim.loop, j.sim.rng.Fork(), prof, tenant, sess)
-	wk.Start(j.sim.loop.Now() + 10*3600*sim.Second)
-	st := &Stream{sim: j.sim, worker: wk, sess: sess}
-	j.streams = append(j.streams, st)
-	return st, nil
+	return v.StartWorkload(opts...)
 }
 
 // Stream is a running workload with live metrics.
 type Stream struct {
 	sim    *Sim
 	worker *workload.Worker
-	sess   *fabric.Session
+	sess   *fabric.Session // primary session (fabric fault address)
+	sesss  []*fabric.Session
 }
 
 // Stop ends the stream's submissions.
@@ -451,8 +452,14 @@ func (s *Stream) ResetStats() { s.worker.ResetStats() }
 // BandwidthMBps returns the measured goodput since the last reset.
 func (s *Stream) BandwidthMBps() float64 { return s.worker.BandwidthMBps() }
 
-// Retries returns how many reissues the stream's session performed.
-func (s *Stream) Retries() int64 { return s.sess.Retries }
+// Retries returns how many reissues the stream's sessions performed.
+func (s *Stream) Retries() int64 {
+	var n int64
+	for _, sess := range s.sesss {
+		n += sess.Retries
+	}
+	return n
+}
 
 // Latency summarizes the stream's end-to-end latency since the last reset.
 type Latency struct {
@@ -482,8 +489,17 @@ func toLatency(h interface {
 
 // CreditHeadroom returns the tenant's current flow-control headroom (the
 // §4.3 load-balancing signal); very large when the scheme has no client
-// gate.
-func (s *Stream) CreditHeadroom() int { return s.sess.Headroom() }
+// gate. A stream over a managed volume spanning several SSDs reports the
+// tightest session.
+func (s *Stream) CreditHeadroom() int {
+	h := s.sess.Headroom()
+	for _, sess := range s.sesss[1:] {
+		if sh := sess.Headroom(); sh < h {
+			h = sh
+		}
+	}
+	return h
+}
 
 // View is the per-SSD virtual view Gimbal exposes to tenants (§3.7).
 type View struct {
@@ -500,7 +516,12 @@ type View struct {
 
 // View returns the SSD's virtual view. The error is ErrNoView unless the
 // JBOF runs the Gimbal scheme, ErrBadSSDIndex for an index outside it.
-func (j *JBOF) View(ssdIdx int) (View, error) {
+//
+// Deprecated: volumes are the unit of provisioning now; use Volume.View
+// (WholeSSDVolume(ssdIdx) for a raw device).
+func (j *JBOF) View(ssdIdx int) (View, error) { return j.ssdView(ssdIdx) }
+
+func (j *JBOF) ssdView(ssdIdx int) (View, error) {
 	if err := j.checkSSD(ssdIdx); err != nil {
 		return View{}, err
 	}

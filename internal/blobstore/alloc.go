@@ -105,6 +105,42 @@ func (g *Global) FreeMega(backend int, offset int64) {
 	g.freeCnt[backend]++
 }
 
+// Avoid is a reusable backend-exclusion set for Alloc: generation-stamped
+// membership over the dense backend index. The replica-placement loop (and
+// the volume control plane's churn path) calls Alloc once per span; a
+// per-call map literal there is an allocation on a hot path, so callers
+// keep one Avoid and Reset it instead.
+type Avoid struct {
+	stamp []uint32
+	gen   uint32
+}
+
+// Reset empties the set for a pool of n backends. The backing array grows
+// once and is reused afterwards.
+func (a *Avoid) Reset(n int) {
+	if len(a.stamp) < n {
+		a.stamp = make([]uint32, n)
+		a.gen = 1
+		return
+	}
+	a.gen++
+	if a.gen == 0 { // generation wrapped: clear stale stamps
+		for i := range a.stamp {
+			a.stamp[i] = 0
+		}
+		a.gen = 1
+	}
+}
+
+// Add excludes backend i. Reset must have covered i.
+func (a *Avoid) Add(i int) { a.stamp[i] = a.gen }
+
+// Has reports whether backend i is excluded. A nil (or never-Reset) Avoid
+// excludes nothing.
+func (a *Avoid) Has(i int) bool {
+	return a != nil && a.gen != 0 && i < len(a.stamp) && a.stamp[i] == a.gen
+}
+
 // Local is a client's micro blob agent: it carves mega blobs obtained from
 // the global allocator into micro blobs, maintaining a per-backend free
 // list and triggering the global allocator when a pool runs dry.
@@ -132,17 +168,24 @@ func NewLocal(global *Global, backends []*Backend) *Local {
 // Backends returns the client's device sessions.
 func (l *Local) Backends() []*Backend { return l.backends }
 
+// Config returns the allocator sizing the agent was built over.
+func (l *Local) Config() Config { return l.cfg }
+
+// Global returns the rack-scale allocator the agent draws from.
+func (l *Local) Global() *Global { return l.global }
+
 // FreeMicros returns the local free micro blob count for a backend.
 func (l *Local) FreeMicros(backend int) int { return len(l.free[backend]) }
 
 // Alloc reserves one micro blob, preferring the least-loaded backend
 // (maximum credit headroom, §4.3) and excluding any backends in `avoid`
-// (used to place a replica away from its primary).
-func (l *Local) Alloc(avoid map[int]bool) (Addr, error) {
+// (used to place a replica away from its primary). avoid may be nil; a
+// non-nil Avoid is caller-owned scratch, reusable across calls via Reset.
+func (l *Local) Alloc(avoid *Avoid) (Addr, error) {
 	best := -1
 	bestHead := -1
 	for i, b := range l.backends {
-		if avoid[i] {
+		if avoid.Has(i) {
 			continue
 		}
 		if len(l.free[i]) == 0 && l.global.FreeMegas(i) == 0 {

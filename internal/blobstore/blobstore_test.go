@@ -118,12 +118,83 @@ func TestLocalAllocAvoidsExcluded(t *testing.T) {
 	fs[0].head = 100
 	fs[1].head = 1
 	l := NewLocal(NewGlobal(DefaultConfig(), caps(bs)), bs)
-	a, err := l.Alloc(map[int]bool{0: true})
+	var avoid Avoid
+	avoid.Reset(len(bs))
+	avoid.Add(0)
+	a, err := l.Alloc(&avoid)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Backend != 1 {
 		t.Fatalf("replica placed on avoided backend")
+	}
+}
+
+// TestAvoidGenerations exercises the generation-stamped reuse: Reset must
+// empty the set without touching the backing array, and a zero-value Avoid
+// must exclude nothing.
+func TestAvoidGenerations(t *testing.T) {
+	var a Avoid
+	if a.Has(0) || a.Has(7) {
+		t.Fatal("zero-value Avoid excluded a backend")
+	}
+	a.Reset(4)
+	a.Add(2)
+	if !a.Has(2) || a.Has(1) {
+		t.Fatal("Add/Has wrong after first Reset")
+	}
+	a.Reset(4)
+	if a.Has(2) {
+		t.Fatal("Reset did not empty the set")
+	}
+	a.Add(3)
+	if !a.Has(3) || a.Has(2) {
+		t.Fatal("membership wrong after second generation")
+	}
+	// Generation wrap: stamps from the pre-wrap era must not match.
+	a.gen = ^uint32(0)
+	a.Add(1)
+	a.Reset(4)
+	if a.Has(1) {
+		t.Fatal("stale stamp matched after generation wrap")
+	}
+}
+
+// TestAllocSteadyStateAllocFree pins the volume-churn hot path contract:
+// an Alloc/Free cycle with a reusable Avoid scratch performs zero heap
+// allocations once the local pool is warm. (The old map[int]bool parameter
+// forced one map allocation per call at every call site.)
+func TestAllocSteadyStateAllocFree(t *testing.T) {
+	loop := sim.NewLoop()
+	bs, _ := pool(loop, 3)
+	l := NewLocal(NewGlobal(DefaultConfig(), caps(bs)), bs)
+	var avoid Avoid
+	// Warm: pull one mega blob per backend into the local free lists and
+	// let the free-list slices reach steady capacity.
+	for i := 0; i < 64; i++ {
+		avoid.Reset(len(bs))
+		a, err := l.Alloc(&avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Free(a)
+	}
+	per := testing.AllocsPerRun(200, func() {
+		avoid.Reset(len(bs))
+		a, err := l.Alloc(&avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avoid.Add(a.Backend)
+		b, err := l.Alloc(&avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Free(a)
+		l.Free(b)
+	})
+	if per != 0 {
+		t.Fatalf("Alloc/Free steady state allocates %.1f/op, want 0", per)
 	}
 }
 

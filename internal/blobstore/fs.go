@@ -15,6 +15,7 @@ import (
 type FS struct {
 	cfg   Config
 	local *Local
+	avoid Avoid // reusable replica-placement scratch for extend
 
 	// Balance enables the read load balancer; without it reads always hit
 	// the primary replica (the Fig 13 "Vanilla+FC" configuration).
@@ -65,9 +66,9 @@ func (f *File) extend(newSize int64) error {
 	micro := f.fs.cfg.MicroBlobBytes
 	for int64(len(f.spans))*micro < newSize {
 		var sp span
-		avoid := map[int]bool{}
+		f.fs.avoid.Reset(len(f.fs.local.backends))
 		for r := 0; r < f.fs.cfg.Replicas; r++ {
-			a, err := f.fs.local.Alloc(avoid)
+			a, err := f.fs.local.Alloc(&f.fs.avoid)
 			if err != nil {
 				if r == 0 {
 					return err
@@ -76,7 +77,7 @@ func (f *File) extend(newSize int64) error {
 				// keep the primary only.
 				break
 			}
-			avoid[a.Backend] = true
+			f.fs.avoid.Add(a.Backend)
 			sp.replicas = append(sp.replicas, a)
 		}
 		f.spans = append(f.spans, sp)

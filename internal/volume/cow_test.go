@@ -1,0 +1,263 @@
+package volume
+
+import (
+	"bytes"
+	"testing"
+
+	"gimbal/internal/nvme"
+)
+
+// TestCOWDifferential is the clone-then-overwrite vs flat-volume
+// differential: a base volume is written, snapshotted, and cloned; the
+// clone and the base each take further overwrites (full-extent and
+// partial-extent, the latter forcing a copy of the untouched remainder);
+// flat volumes replay the same logical write sequences. Read-back through
+// the mapping layer must be byte-identical, and the snapshot must still
+// read as the pre-overwrite image.
+func TestCOWDifferential(t *testing.T) {
+	e := newEnv(t, 2, 64)
+	eb := e.m.ExtentBytes()
+	const extents = 8
+	size := int64(extents) * eb
+
+	// writes is a replayable logical write log: (volume offset, payload).
+	type wr struct {
+		off  int64
+		data []byte
+	}
+	base := make([]wr, 0, extents)
+	for i := 0; i < extents; i++ {
+		base = append(base, wr{int64(i) * eb, pattern(byte(0x10+i), int(eb))})
+	}
+	cloneOver := []wr{
+		{1 * eb, pattern(0xA1, int(eb))},   // full-extent overwrite
+		{3 * eb, pattern(0xA3, int(eb))},   // full-extent overwrite
+		{4*eb + 4096, pattern(0xA4, 8192)}, // partial: COW must keep the rest
+	}
+	baseOver := []wr{
+		{2 * eb, pattern(0xB2, int(eb))},
+		{6*eb + 16384, pattern(0xB6, 4096)},
+	}
+	replay := func(v *Volume, logs ...[]wr) {
+		for _, log := range logs {
+			for _, w := range log {
+				e.write(v, w.off, w.data)
+			}
+		}
+	}
+
+	a, err := e.m.Create(Spec{Name: "a", Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(a, base)
+	e.audit()
+
+	if _, err := e.m.Snapshot("a", "s"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.m.Clone("s", "c", "silver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.audit()
+
+	cowBefore := e.m.CowCopies
+	replay(c, cloneOver)
+	replay(a, baseOver)
+	e.audit()
+	// Every overwrite hit a span shared with the snapshot: 3 clone
+	// overwrites + 2 base overwrites, each one copy.
+	if got := e.m.CowCopies - cowBefore; got != 5 {
+		t.Fatalf("CowCopies = %d, want 5", got)
+	}
+	if e.m.CowBytesCopied != 5*eb {
+		t.Fatalf("CowBytesCopied = %d, want %d", e.m.CowBytesCopied, 5*eb)
+	}
+
+	// Flat replays of the same logical histories.
+	fc, err := e.m.Create(Spec{Name: "flat-c", Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(fc, base, cloneOver)
+	fa, err := e.m.Create(Spec{Name: "flat-a", Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(fa, base, baseOver)
+	f1, err := e.m.Create(Spec{Name: "flat-1", Size: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay(f1, base)
+	e.audit()
+
+	if !bytes.Equal(e.read(c), e.read(fc)) {
+		t.Fatal("clone read-back differs from flat replay")
+	}
+	if !bytes.Equal(e.read(a), e.read(fa)) {
+		t.Fatal("base read-back differs from flat replay")
+	}
+	// The snapshot still holds the pre-overwrite image; read it through a
+	// fresh clone.
+	sr, err := e.m.Clone("s", "snap-read", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(e.read(sr), e.read(f1)) {
+		t.Fatal("snapshot image was disturbed by COW overwrites")
+	}
+	e.audit()
+
+	// Teardown: every reference drops, every span is trimmed and freed.
+	for _, name := range []string{"c", "snap-read", "a", "flat-c", "flat-a", "flat-1"} {
+		if err := e.m.Delete(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.m.DeleteSnapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	e.loop.Run() // drain trim IOs
+	e.audit()
+	u := e.m.Usage()
+	if u.AllocatedBytes != 0 || u.LogicalBytes != 0 || u.Volumes != 0 || u.Snapshots != 0 {
+		t.Fatalf("teardown left usage %+v", u)
+	}
+	if int(e.m.Trims) != e.deviceTrims() {
+		t.Fatalf("accounted %d trims, devices saw %d", e.m.Trims, e.deviceTrims())
+	}
+	if e.m.Trims == 0 {
+		t.Fatal("expected trims on teardown")
+	}
+	e.freedEverything()
+}
+
+// TestRefcountTrimOnLastUnref walks one span through the full sharing
+// lifecycle and asserts the trim fires exactly when the last reference
+// drops, observable through FreeMicros.
+func TestRefcountTrimOnLastUnref(t *testing.T) {
+	e := newEnv(t, 1, 8)
+	eb := e.m.ExtentBytes()
+	if _, err := e.m.Create(Spec{Name: "v", Size: eb}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := e.m.Lookup("v")
+	e.write(v, 0, pattern(1, int(eb)))                // allocates span X, refs[X]=1
+	if _, err := e.m.Snapshot("v", "s"); err != nil { // refs[X]=2
+		t.Fatal(err)
+	}
+	c, err := e.m.Clone("s", "c", "") // refs[X]=3
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.write(c, 0, pattern(2, int(eb))) // COW: clone remaps to Y, refs[X]=2, refs[Y]=1
+	e.audit()
+	if e.m.CowCopies != 1 {
+		t.Fatalf("CowCopies = %d, want 1", e.m.CowCopies)
+	}
+	freeBefore := e.local.FreeMicros(0)
+
+	if err := e.m.Delete("c"); err != nil { // Y's last ref → trim
+		t.Fatal(err)
+	}
+	e.loop.Run()
+	if e.m.Trims != 1 || e.deviceTrims() != 1 {
+		t.Fatalf("after clone delete: Trims=%d deviceTrims=%d, want 1/1", e.m.Trims, e.deviceTrims())
+	}
+	if got := e.local.FreeMicros(0); got != freeBefore+1 {
+		t.Fatalf("FreeMicros = %d, want %d", got, freeBefore+1)
+	}
+
+	if err := e.m.Delete("v"); err != nil { // refs[X]=1 (snapshot): no trim
+		t.Fatal(err)
+	}
+	e.loop.Run()
+	if e.m.Trims != 1 {
+		t.Fatalf("volume delete trimmed a span the snapshot still references")
+	}
+
+	if err := e.m.DeleteSnapshot("s"); err != nil { // refs[X]=0 → trim
+		t.Fatal(err)
+	}
+	e.loop.Run()
+	if e.m.Trims != 2 || e.deviceTrims() != 2 {
+		t.Fatalf("after snapshot delete: Trims=%d deviceTrims=%d, want 2/2", e.m.Trims, e.deviceTrims())
+	}
+	e.audit()
+	e.freedEverything()
+}
+
+// TestZeroReadAsync pins the recursion guard: a read of a hole must not
+// complete synchronously inside Route (a closed-loop worker would recurse
+// through its completion), and must count as a zero read.
+func TestZeroReadAsync(t *testing.T) {
+	e := newEnv(t, 1, 8)
+	eb := e.m.ExtentBytes()
+	v, err := e.m.Create(Spec{Name: "v", Size: 4 * eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	io := &nvme.IO{Op: nvme.OpRead, Offset: eb, Size: 4096,
+		Done: func(_ *nvme.IO, cpl nvme.Completion) { done = true }}
+	v.Route(io, e.router)
+	if done {
+		t.Fatal("hole read completed synchronously")
+	}
+	e.loop.Run()
+	if !done {
+		t.Fatal("hole read never completed")
+	}
+	if e.m.ZeroReads != 1 {
+		t.Fatalf("ZeroReads = %d, want 1", e.m.ZeroReads)
+	}
+	if e.devs[0].subs != 0 {
+		t.Fatalf("hole read reached the device (%d submissions)", e.devs[0].subs)
+	}
+}
+
+// TestStraddlingIO exercises the fan-out path: one write and one read
+// crossing an extent boundary split into per-extent segments that each
+// allocate/forward independently and aggregate into a single completion.
+func TestStraddlingIO(t *testing.T) {
+	e := newEnv(t, 2, 8)
+	eb := e.m.ExtentBytes()
+	v, err := e.m.Create(Spec{Name: "v", Size: 4 * eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := &nvme.IO{Op: nvme.OpWrite, Offset: eb - 4096, Size: 8192}
+	var wrStatus nvme.Status = 0xffff
+	wr.Done = func(_ *nvme.IO, cpl nvme.Completion) { wrStatus = cpl.Status }
+	v.Route(wr, e.router)
+	e.loop.Run()
+	if wrStatus != nvme.StatusOK {
+		t.Fatalf("straddling write status %#x", uint16(wrStatus))
+	}
+	// Both touched extents hole-filled.
+	if u := e.m.Usage(); u.AllocatedBytes != 2*eb {
+		t.Fatalf("AllocatedBytes = %d, want %d", u.AllocatedBytes, 2*eb)
+	}
+	e.audit()
+
+	rd := &nvme.IO{Op: nvme.OpRead, Offset: eb - 8192, Size: 16384}
+	var rdStatus nvme.Status = 0xffff
+	rd.Done = func(_ *nvme.IO, cpl nvme.Completion) { rdStatus = cpl.Status }
+	v.Route(rd, e.router)
+	e.loop.Run()
+	if rdStatus != nvme.StatusOK {
+		t.Fatalf("straddling read status %#x", uint16(rdStatus))
+	}
+
+	// Out-of-range IO fails without reaching a device.
+	bad := &nvme.IO{Op: nvme.OpRead, Offset: 4 * eb, Size: 4096}
+	var badStatus nvme.Status
+	bad.Done = func(_ *nvme.IO, cpl nvme.Completion) { badStatus = cpl.Status }
+	v.Route(bad, e.router)
+	e.loop.Run()
+	if badStatus != nvme.StatusInvalidLBA {
+		t.Fatalf("out-of-range read status %#x, want InvalidLBA", uint16(badStatus))
+	}
+}

@@ -1,0 +1,211 @@
+package volume
+
+import (
+	"errors"
+	"testing"
+
+	"gimbal/internal/nvme"
+)
+
+// TestLifecycleErrors is the table over every typed error path in the
+// control plane; each case must satisfy errors.Is against its sentinel.
+func TestLifecycleErrors(t *testing.T) {
+	e := newEnv(t, 1, 8) // 8MB physical, 32MB logical budget at 4× overcommit
+	eb := e.m.ExtentBytes()
+	if _, err := e.m.Create(Spec{Name: "v", Size: 4 * eb}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.m.Snapshot("v", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.m.Clone("s", "c", ""); err != nil {
+		t.Fatal(err)
+	}
+	logicalBudget := int64(4 * float64(e.m.capacityBytes))
+
+	cases := []struct {
+		name string
+		do   func() error
+		want error
+	}{
+		{"create empty name", func() error { _, err := e.m.Create(Spec{Size: eb}); return err }, ErrInvalid},
+		{"create zero size", func() error { _, err := e.m.Create(Spec{Name: "z", Size: 0}); return err }, ErrInvalid},
+		{"create negative size", func() error { _, err := e.m.Create(Spec{Name: "z", Size: -1}); return err }, ErrInvalid},
+		{"create duplicate", func() error { _, err := e.m.Create(Spec{Name: "v", Size: eb}); return err }, ErrExists},
+		{"create unknown class", func() error { _, err := e.m.Create(Spec{Name: "z", Size: eb, Class: "platinum"}); return err }, ErrUnknownClass},
+		{"create over logical budget", func() error { _, err := e.m.Create(Spec{Name: "z", Size: logicalBudget}); return err }, ErrOutOfCapacity},
+		{"create thick over physical", func() error {
+			_, err := e.m.Create(Spec{Name: "z", Size: e.m.capacityBytes + eb, Thick: true})
+			return err
+		}, ErrOutOfCapacity},
+		{"lookup missing", func() error { _, err := e.m.Lookup("ghost"); return err }, ErrNotFound},
+		{"lookup snapshot missing", func() error { _, err := e.m.LookupSnapshot("ghost"); return err }, ErrNotFound},
+		{"delete missing", func() error { return e.m.Delete("ghost") }, ErrNotFound},
+		{"snapshot of missing volume", func() error { _, err := e.m.Snapshot("ghost", "s2"); return err }, ErrNotFound},
+		{"snapshot empty name", func() error { _, err := e.m.Snapshot("v", ""); return err }, ErrInvalid},
+		{"snapshot duplicate", func() error { _, err := e.m.Snapshot("v", "s"); return err }, ErrExists},
+		{"delete missing snapshot", func() error { return e.m.DeleteSnapshot("ghost") }, ErrNotFound},
+		{"delete snapshot with clones", func() error { return e.m.DeleteSnapshot("s") }, ErrSnapshotInUse},
+		{"clone from missing snapshot", func() error { _, err := e.m.Clone("ghost", "z", ""); return err }, ErrNotFound},
+		{"clone empty name", func() error { _, err := e.m.Clone("s", "", ""); return err }, ErrInvalid},
+		{"clone duplicate volume", func() error { _, err := e.m.Clone("s", "v", ""); return err }, ErrExists},
+		{"clone unknown class", func() error { _, err := e.m.Clone("s", "z", "platinum"); return err }, ErrUnknownClass},
+		{"resize missing", func() error { return e.m.Resize("ghost", eb) }, ErrNotFound},
+		{"resize to zero", func() error { return e.m.Resize("v", 0) }, ErrInvalid},
+		{"resize over logical budget", func() error { return e.m.Resize("v", logicalBudget) }, ErrOutOfCapacity},
+	}
+	for _, tc := range cases {
+		err := tc.do()
+		if err == nil {
+			t.Errorf("%s: no error, want %v", tc.name, tc.want)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v does not match sentinel %v", tc.name, err, tc.want)
+		}
+	}
+	// None of the failed operations may have leaked accounting.
+	e.audit()
+}
+
+// TestThickProvisioning checks eager allocation, physical accounting, and
+// thick resize in both directions.
+func TestThickProvisioning(t *testing.T) {
+	e := newEnv(t, 2, 8) // 16MB physical
+	eb := e.m.ExtentBytes()
+	v, err := e.m.Create(Spec{Name: "t", Size: 8 * eb, Thick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.m.Usage().AllocatedBytes; got != 8*eb {
+		t.Fatalf("thick create allocated %d, want %d", got, 8*eb)
+	}
+	if v.AllocatedBytes() != 8*eb {
+		t.Fatalf("volume footprint %d, want %d", v.AllocatedBytes(), 8*eb)
+	}
+	e.audit()
+	if err := e.m.Resize("t", 12*eb); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.m.Usage().AllocatedBytes; got != 12*eb {
+		t.Fatalf("thick grow allocated %d, want %d", got, 12*eb)
+	}
+	if err := e.m.Resize("t", 2*eb); err != nil {
+		t.Fatal(err)
+	}
+	e.loop.Run()
+	if got := e.m.Usage().AllocatedBytes; got != 2*eb {
+		t.Fatalf("shrink left %d allocated, want %d", got, 2*eb)
+	}
+	// Thick resize beyond physical capacity fails whole.
+	if err := e.m.Resize("t", e.m.capacityBytes+eb); !errors.Is(err, ErrOutOfCapacity) {
+		t.Fatalf("thick resize past capacity: %v", err)
+	}
+	e.audit()
+	if err := e.m.Delete("t"); err != nil {
+		t.Fatal(err)
+	}
+	e.loop.Run()
+	e.freedEverything()
+}
+
+// TestThinResize checks hole growth, shrink-with-decref, and logical
+// accounting on a thin volume.
+func TestThinResize(t *testing.T) {
+	e := newEnv(t, 1, 8)
+	eb := e.m.ExtentBytes()
+	v, err := e.m.Create(Spec{Name: "v", Size: 4 * eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.write(v, 0, pattern(1, int(eb)))
+	e.write(v, 3*eb, pattern(2, int(eb)))
+	if got := e.m.Usage().AllocatedBytes; got != 2*eb {
+		t.Fatalf("allocated %d, want %d", got, 2*eb)
+	}
+	if err := e.m.Resize("v", 8*eb); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.m.Usage().LogicalBytes; got != 8*eb {
+		t.Fatalf("logical %d, want %d", got, 8*eb)
+	}
+	// Shrink past the written extent at index 3: its span must be freed.
+	if err := e.m.Resize("v", 2*eb); err != nil {
+		t.Fatal(err)
+	}
+	e.loop.Run()
+	if got := e.m.Usage().AllocatedBytes; got != eb {
+		t.Fatalf("after shrink allocated %d, want %d", got, eb)
+	}
+	if e.m.Trims != 1 {
+		t.Fatalf("Trims = %d, want 1", e.m.Trims)
+	}
+	e.audit()
+}
+
+// TestListOrder pins deterministic, creation-ordered listing across
+// interleaved deletes — the property the churn engine's determinism
+// rests on.
+func TestListOrder(t *testing.T) {
+	e := newEnv(t, 1, 8)
+	eb := e.m.ExtentBytes()
+	for _, n := range []string{"b", "d", "a", "c"} {
+		if _, err := e.m.Create(Spec{Name: n, Size: eb}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.m.Delete("d"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b", "a", "c"}
+	got := e.m.List()
+	if len(got) != len(want) {
+		t.Fatalf("List returned %d volumes, want %d", len(got), len(want))
+	}
+	for i, v := range got {
+		if v.Name() != want[i] {
+			t.Fatalf("List[%d] = %q, want %q", i, v.Name(), want[i])
+		}
+	}
+	if _, err := e.m.Snapshot("b", "sb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.m.Snapshot("a", "sa"); err != nil {
+		t.Fatal(err)
+	}
+	snaps := e.m.ListSnapshots()
+	if len(snaps) != 2 || snaps[0].Name() != "sb" || snaps[1].Name() != "sa" {
+		t.Fatalf("snapshot order wrong: %v", snaps)
+	}
+}
+
+// TestWriteAllocFailure drives a thin volume past physical capacity: the
+// write must fail cleanly (counted, no accounting drift) rather than
+// panic or hang.
+func TestWriteAllocFailure(t *testing.T) {
+	e := newEnv(t, 1, 2) // tiny: 2MB physical = 8 extents
+	eb := e.m.ExtentBytes()
+	v, err := e.m.Create(Spec{Name: "v", Size: 8 * eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		e.write(v, i*eb, pattern(byte(i), int(eb)))
+	}
+	// Physical space exhausted; a COW-triggering overwrite needs a span.
+	if _, err := e.m.Snapshot("v", "s"); err != nil {
+		t.Fatal(err)
+	}
+	wr := &nvme.IO{Op: nvme.OpWrite, Offset: 0, Size: int(eb)}
+	var st nvme.Status = 0xffff
+	wr.Done = func(_ *nvme.IO, cpl nvme.Completion) { st = cpl.Status }
+	v.Route(wr, e.router)
+	e.loop.Run()
+	if st != nvme.StatusInternalErr {
+		t.Fatalf("overwrite with no free spans: status %#x, want InternalErr", uint16(st))
+	}
+	if e.m.AllocFailures != 1 {
+		t.Fatalf("AllocFailures = %d, want 1", e.m.AllocFailures)
+	}
+	e.audit()
+}
