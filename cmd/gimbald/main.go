@@ -56,6 +56,7 @@ import (
 	"gimbal/internal/obs"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
+	"gimbal/internal/tier"
 	"gimbal/internal/volume"
 )
 
@@ -80,6 +81,8 @@ func main() {
 		classW    = flag.String("class-weights", "", "comma-separated QoS class weights for the gimbal scheduler (e.g. 4,2,1); empty = flat single-class DRR")
 		qosFlag   = flag.String("qos-classes", "", "named QoS classes for the volume control plane and scheduler (e.g. gold=8,silver=4,besteffort=1); supersedes -class-weights")
 		eager     = flag.Bool("eager-redistribute", false, "use the O(tenants) eager vslot redistribution loop instead of the lazy epoch-stamped path (debugging/differential runs)")
+		tierFlag  = flag.String("tier", "", "fast-tier cache per SSD: a fraction of -capacity (e.g. 0.1) or a byte size (e.g. 256MiB); empty disables")
+		token     = flag.String("admin-token", "", "bearer token required on mutating volume endpoints (empty leaves them open)")
 	)
 	flag.Parse()
 
@@ -151,18 +154,43 @@ func main() {
 		}
 		return shards.Shard(i % R)
 	}
+	var tierParams tier.Params
+	if *tierFlag != "" {
+		tierBytes, err := parseTierSize(*tierFlag, *capacity)
+		if err != nil {
+			log.Fatalf("-tier: %v", err)
+		}
+		tierParams = tier.DefaultParams(tierBytes)
+		if err := tierParams.Validate(); err != nil {
+			log.Fatalf("-tier: %v", err)
+		}
+	}
 	rng := sim.NewRNG(uint64(os.Getpid()))
 	var devs []ssd.Device
 	var ssdModels []*ssd.SSD
 	var wraps []*fault.Device
+	var tiers []*tier.Device
 	for i := 0; i < *ssds; i++ {
 		p := ssd.DCT983()
 		p.UsableBytes = *capacity
 		d := ssd.New(clkFor(i), p)
+		if *tierFlag != "" {
+			// Tag before preconditioning: tiered and untiered stacks must
+			// not share an FTL snapshot cache entry.
+			d.SetSnapshotTag(tierParams.SnapshotTag())
+		}
 		log.Printf("preconditioning ssd %d (%s, %s)...", i, p.Name, condition)
 		d.Precondition(condition, rng.Fork())
 		w := fault.Wrap(clkFor(i), d)
-		devs = append(devs, w)
+		var dev ssd.Device = w
+		if *tierFlag != "" {
+			// Tier outermost, above the fault layer, so NAND faults never
+			// slow tier hits.
+			ft := tier.New(clkFor(i), w, tierParams)
+			tiers = append(tiers, ft)
+			dev = ft
+		}
+		devs = append(devs, dev)
 		ssdModels = append(ssdModels, d)
 		wraps = append(wraps, w)
 	}
@@ -177,6 +205,11 @@ func main() {
 			if g := target.Pipeline(i).Gimbal; g != nil {
 				g.EnableRecovery(core.DefaultRecoveryConfig())
 			}
+		}
+	}
+	for i, ft := range tiers {
+		if g := target.Pipeline(i).Gimbal; g != nil {
+			g.SetCostModel(ft)
 		}
 	}
 	// Telemetry: registry gathered under the scheduler lock, the span
@@ -255,6 +288,9 @@ func main() {
 			eng.Stall = func(ssdIdx, die int, dur int64) error {
 				return ssdModels[ssdIdx].InjectDieStall(die, dur)
 			}
+			if len(tiers) > 0 {
+				eng.Tier = func(ssdIdx int, active bool) { tiers[ssdIdx].SetBypass(active) }
+			}
 			eng.OnEvent = func(ev fault.Event, active bool) {
 				hub.Events.Append(lc.Now(), ev.Kind.String(), fmt.Sprintf("ssd=%d", ev.SSD), active)
 			}
@@ -305,7 +341,7 @@ func main() {
 	var vols *volumeServer
 	if *admin != "" {
 		mux := fabric.AdminMuxMetrics(lc, target, hub, mw)
-		vols = newVolumeServer(classes, *ssds, *capacity)
+		vols = newVolumeServer(classes, *ssds, *capacity, *token)
 		vols.register(mux)
 		if rsrv != nil {
 			mux.HandleFunc("/reactors", func(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +453,7 @@ func loadFaultPlan(path string) (*fault.Plan, error) {
 		"ssd-brownout":      fault.SSDBrownout,
 		"ssd-die-stall":     fault.SSDDieStall,
 		"ssd-fail":          fault.SSDFail,
+		"ssd-tier-bypass":   fault.SSDTierBypass,
 	}
 	dur := func(s string) (int64, error) {
 		if s == "" {
@@ -449,6 +486,37 @@ func loadFaultPlan(path string) (*fault.Plan, error) {
 		})
 	}
 	return plan, nil
+}
+
+// parseTierSize parses the -tier flag: a fraction of the per-SSD capacity
+// ("0.1"), or an absolute byte size — a plain integer ("268435456") or a
+// KiB/MiB/GiB-suffixed size ("256MiB").
+func parseTierSize(s string, capacity int64) (int64, error) {
+	mult := int64(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, num = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, num = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, num = 1<<10, strings.TrimSuffix(s, "KiB")
+	}
+	if mult > 1 {
+		n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("bad size %q", s)
+		}
+		return n * mult, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f <= 0 {
+		return 0, fmt.Errorf("bad size or fraction %q", s)
+	}
+	if f < 1 {
+		return int64(f * float64(capacity)), nil
+	}
+	return int64(f), nil
 }
 
 // parseClassWeights parses "-class-weights 4,2,1" into the scheduler's

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -37,13 +38,16 @@ import (
 type volumeServer struct {
 	mu       sync.Mutex
 	m        *volume.Manager
+	token    string // bearer token gating mutations; "" leaves them open
 	draining atomic.Bool
 }
 
 // newVolumeServer builds the control plane over the daemon's SSD geometry.
 // Backends carry capacity only: constant headroom (no live load signal on
-// the control path) and no target (nothing submits device IO).
-func newVolumeServer(classes *volume.ClassSet, ssds int, capacity int64) *volumeServer {
+// the control path) and no target (nothing submits device IO). A non-empty
+// token makes every mutating endpoint require "Authorization: Bearer
+// <token>"; reads stay open (they carry no more than /stats already does).
+func newVolumeServer(classes *volume.ClassSet, ssds int, capacity int64, token string) *volumeServer {
 	bc := blobstore.DefaultConfig()
 	bc.Replicas = 1
 	caps := make([]int64, ssds)
@@ -56,7 +60,10 @@ func newVolumeServer(classes *volume.ClassSet, ssds int, capacity int64) *volume
 		}
 	}
 	local := blobstore.NewLocal(blobstore.NewGlobal(bc, caps), backends)
-	return &volumeServer{m: volume.NewManager(nil, volume.DefaultConfig(), local, classes, nil)}
+	return &volumeServer{
+		m:     volume.NewManager(nil, volume.DefaultConfig(), local, classes, nil),
+		token: token,
+	}
 }
 
 // Drain flips the server into shutdown mode: mutating endpoints return
@@ -155,9 +162,18 @@ func writeVolumeError(w http.ResponseWriter, err error) {
 	writeJSON(w, volumeHTTPStatus(err), map[string]string{"error": err.Error()})
 }
 
-// gate rejects mutations while draining and decodes the request body.
+// gate authenticates and admits one mutation: bearer-token check first
+// (constant-time compare), then the draining latch, then body decoding.
 // It returns false after writing the error response.
 func (vs *volumeServer) gate(w http.ResponseWriter, r *http.Request, body any) bool {
+	if vs.token != "" {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(vs.token)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="gimbald volumes"`)
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "missing or invalid bearer token"})
+			return false
+		}
+	}
 	if vs.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining: volume provisioning disabled during shutdown"})
 		return false

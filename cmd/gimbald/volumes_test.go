@@ -11,12 +11,16 @@ import (
 )
 
 func newTestVolumeAPI(t *testing.T) (*volumeServer, *httptest.Server) {
+	return newTestVolumeAPIToken(t, "")
+}
+
+func newTestVolumeAPIToken(t *testing.T, token string) (*volumeServer, *httptest.Server) {
 	t.Helper()
 	classes, err := volume.ParseClasses("gold=8,silver=4,besteffort=1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs := newVolumeServer(classes, 2, 1<<30)
+	vs := newVolumeServer(classes, 2, 1<<30, token)
 	mux := http.NewServeMux()
 	vs.register(mux)
 	srv := httptest.NewServer(mux)
@@ -131,6 +135,85 @@ func TestVolumeEndpoints(t *testing.T) {
 	}
 	if len(classes) != 3 || classes[0].Name != "gold" || classes[0].Weight != 8 {
 		t.Fatalf("classes: %+v", classes)
+	}
+}
+
+// doJSONAuth is doJSON with an Authorization header.
+func doJSONAuth(t *testing.T, method, url, auth string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	if out != nil && rsp.StatusCode < 300 && rsp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(rsp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rsp.StatusCode
+}
+
+// TestVolumeAuth pins the -admin-token contract: with a token configured,
+// every mutating endpoint rejects missing or wrong credentials with 401,
+// accepts the right bearer token, and leaves reads open.
+func TestVolumeAuth(t *testing.T) {
+	_, srv := newTestVolumeAPIToken(t, "s3cret")
+	base := srv.URL
+
+	mutations := []struct {
+		method, path string
+	}{
+		{"POST", "/volumes"},
+		{"DELETE", "/volumes/v0"},
+		{"POST", "/volumes/v0/resize"},
+		{"POST", "/volumes/v0/snapshots"},
+		{"DELETE", "/snapshots/s0"},
+		{"POST", "/snapshots/s0/clones"},
+	}
+	for _, m := range mutations {
+		if got := doJSON(t, m.method, base+m.path, map[string]any{}, nil); got != http.StatusUnauthorized {
+			t.Errorf("%s %s without token: %d, want 401", m.method, m.path, got)
+		}
+		if got := doJSONAuth(t, m.method, base+m.path, "Bearer wrong", map[string]any{}, nil); got != http.StatusUnauthorized {
+			t.Errorf("%s %s with wrong token: %d, want 401", m.method, m.path, got)
+		}
+		if got := doJSONAuth(t, m.method, base+m.path, "s3cret", map[string]any{}, nil); got != http.StatusUnauthorized {
+			t.Errorf("%s %s with non-bearer scheme: %d, want 401", m.method, m.path, got)
+		}
+	}
+
+	// The right token works end to end.
+	var v volumeInfo
+	if got := doJSONAuth(t, "POST", base+"/volumes", "Bearer s3cret",
+		createVolumeReq{Name: "v0", SizeBytes: 1 << 20, QoSClass: "gold"}, &v); got != http.StatusCreated {
+		t.Fatalf("authorized create: %d, want 201", got)
+	}
+	// Reads stay open without credentials.
+	var listing struct {
+		Volumes []volumeInfo `json:"volumes"`
+	}
+	if got := doJSON(t, "GET", base+"/volumes", nil, &listing); got != http.StatusOK || len(listing.Volumes) != 1 {
+		t.Fatalf("unauthenticated read: %d %+v", got, listing)
+	}
+	if got := doJSON(t, "GET", base+"/qos-classes", nil, nil); got != http.StatusOK {
+		t.Fatalf("unauthenticated classes read: %d", got)
+	}
+	if got := doJSONAuth(t, "DELETE", base+"/volumes/v0", "Bearer s3cret", nil, nil); got != http.StatusNoContent {
+		t.Fatalf("authorized delete: %d", got)
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 	"gimbal/internal/nvme"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
+	"gimbal/internal/tier"
 	"gimbal/internal/volume"
 	"gimbal/internal/workload"
 )
@@ -157,6 +158,11 @@ type JBOFConfig struct {
 	// (see WithQoSClasses). Empty keeps the scheduler in flat mode with
 	// the default class menu available for volume placement.
 	QoSClasses string
+	// FastTierBytes interposes an Optane-class fast-tier cache of this
+	// size in front of every SSD (0 = no tier). The tier absorbs small
+	// writes, promotes re-read pages, and feeds the Gimbal write-cost
+	// estimator with its absorption rate.
+	FastTierBytes int64
 }
 
 // JBOFOption customizes a JBOF under construction.
@@ -177,6 +183,12 @@ func WithCapacity(bytes int64) JBOFOption { return func(c *JBOFConfig) { c.Capac
 // WithP3600 selects the Intel P3600-like device model (§5.8).
 func WithP3600() JBOFOption { return func(c *JBOFConfig) { c.P3600 = true } }
 
+// WithFastTier interposes a fast-tier read/write cache of the given byte
+// capacity in front of every SSD.
+func WithFastTier(bytes int64) JBOFOption {
+	return func(c *JBOFConfig) { c.FastTierBytes = bytes }
+}
+
 // WithJBOFConfig replaces the whole configuration — the struct escape
 // hatch. Options after it still apply on top.
 func WithJBOFConfig(cfg JBOFConfig) JBOFOption { return func(c *JBOFConfig) { *c = cfg } }
@@ -190,6 +202,7 @@ type JBOF struct {
 	scheme   fabric.Scheme
 	devices  []*ssd.SSD
 	wraps    []*fault.Device
+	tiers    []*tier.Device
 	engine   *fault.Engine
 	streams  []*Stream
 	planSeed uint64
@@ -238,12 +251,32 @@ func (s *Sim) NewJBOF(opts ...JBOFOption) (*JBOF, error) {
 		}
 	}
 	j := &JBOF{sim: s, scheme: scheme, classes: classes}
+	var tp tier.Params
+	if cfg.FastTierBytes > 0 {
+		tp = tier.DefaultParams(cfg.FastTierBytes)
+		if err := tp.Validate(); err != nil {
+			return nil, fmt.Errorf("gimbal: %w", err)
+		}
+	}
 	var devs []ssd.Device
 	for i := 0; i < cfg.SSDs; i++ {
 		d := ssd.New(s.loop, params)
+		if cfg.FastTierBytes > 0 {
+			// Tag before preconditioning: tiered and untiered stacks must
+			// not share an FTL snapshot cache entry.
+			d.SetSnapshotTag(tp.SnapshotTag())
+		}
 		d.Precondition(cond, s.rng.Fork())
 		w := fault.Wrap(s.loop, d)
-		devs = append(devs, w)
+		var dev ssd.Device = w
+		if cfg.FastTierBytes > 0 {
+			// Tier outermost, above the fault layer, so NAND brownouts
+			// never slow tier hits.
+			ft := tier.New(s.loop, w, tp)
+			j.tiers = append(j.tiers, ft)
+			dev = ft
+		}
+		devs = append(devs, dev)
 		j.devices = append(j.devices, d)
 		j.wraps = append(j.wraps, w)
 	}
@@ -254,11 +287,19 @@ func (s *Sim) NewJBOF(opts ...JBOFOption) (*JBOF, error) {
 		tcfg.Gimbal.Sched.ClassWeights = classes.Compile().ClassWeights
 	}
 	j.target = fabric.NewTarget(s.loop, devs, tcfg)
+	for i, ft := range j.tiers {
+		if g := j.target.Pipeline(i).Gimbal; g != nil {
+			g.SetCostModel(ft)
+		}
+	}
 	j.engine = fault.NewEngine(s.loop, j.wraps)
 	j.engine.Stall = func(ssdIdx, die int, dur int64) error {
 		return j.devices[ssdIdx].InjectDieStall(die, dur)
 	}
 	j.engine.Fabric = j.applyFabricFault
+	if len(j.tiers) > 0 {
+		j.engine.Tier = func(ssdIdx int, active bool) { j.tiers[ssdIdx].SetBypass(active) }
+	}
 	return j, nil
 }
 
@@ -574,6 +615,11 @@ const (
 	FabricDelay
 	// FabricDisconnect tears the stream's session down at At, permanently.
 	FabricDisconnect
+	// SSDTierBypass disables the SSD's fast tier for the window (the tier
+	// browns out or is drained): no admissions or promotions, the dirty
+	// set destages eagerly, reads fall through to NAND. Requires a JBOF
+	// built with WithFastTier.
+	SSDTierBypass
 )
 
 func (k FaultKind) internal() (fault.Kind, error) {
@@ -594,6 +640,8 @@ func (k FaultKind) internal() (fault.Kind, error) {
 		return fault.FabricDelay, nil
 	case FabricDisconnect:
 		return fault.FabricDisconnect, nil
+	case SSDTierBypass:
+		return fault.SSDTierBypass, nil
 	}
 	return 0, fmt.Errorf("%w: unknown fault kind %d", ErrBadFaultPlan, int(k))
 }
@@ -708,6 +756,50 @@ func (j *JBOF) applyFabricFault(ev fault.Event, active bool) {
 			lf.SetJitter(0)
 		}
 	}
+}
+
+// TierStats reports fast-tier counters for one SSD.
+type TierStats struct {
+	Hits, Misses       int64
+	HitBytes           int64
+	WriteBacks         int64
+	WriteArounds       int64
+	AbsorbedOverwrites int64
+	Promotions         int64
+	Evictions          int64
+	Destages           int64
+	DestageBytes       int64
+	ResidentPages      int
+	DirtyPages         int
+}
+
+// ErrNoTier reports a TierStats call on a JBOF built without WithFastTier.
+var ErrNoTier = errors.New("gimbal: jbof has no fast tier")
+
+// TierStats returns the fast-tier counters of one SSD; ErrNoTier unless the
+// JBOF was built with WithFastTier.
+func (j *JBOF) TierStats(ssdIdx int) (TierStats, error) {
+	if err := j.checkSSD(ssdIdx); err != nil {
+		return TierStats{}, err
+	}
+	if len(j.tiers) == 0 {
+		return TierStats{}, ErrNoTier
+	}
+	st := j.tiers[ssdIdx].Stats()
+	return TierStats{
+		Hits:               st.Hits,
+		Misses:             st.Misses,
+		HitBytes:           st.HitBytes,
+		WriteBacks:         st.WriteBacks,
+		WriteArounds:       st.WriteArounds,
+		AbsorbedOverwrites: st.Absorbed,
+		Promotions:         st.Promotions,
+		Evictions:          st.Evictions,
+		Destages:           st.Destages,
+		DestageBytes:       st.DestageBytes,
+		ResidentPages:      st.Resident,
+		DirtyPages:         st.Dirty,
+	}, nil
 }
 
 // DeviceStats returns internal counters for one SSD.

@@ -9,6 +9,7 @@ import (
 	"gimbal/internal/obs"
 	"gimbal/internal/sim"
 	"gimbal/internal/ssd"
+	"gimbal/internal/tier"
 	"gimbal/internal/workload"
 )
 
@@ -34,6 +35,11 @@ type FioConfig struct {
 	// plan (chaos experiments). Session indices in the plan address
 	// r.Sessions in Spec order.
 	Faults *fault.Plan
+	// Tier, when set, interposes a fast-tier cache with these parameters in
+	// front of every NAND device (outermost, above any fault layer, so NAND
+	// brownouts never slow tier hits). Gimbal pipelines also get the tier as
+	// their write-cost modeler.
+	Tier *tier.Params
 	// Retry, when set, arms every session with the policy (initiator-side
 	// deadlines + reissue).
 	Retry *fabric.RetryPolicy
@@ -75,6 +81,8 @@ type FioRun struct {
 	// Wraps and Engine exist when a fault plan is armed.
 	Wraps  []*fault.Device
 	Engine *fault.Engine
+	// Tiers exist when FioConfig.Tier was set (one per SSD, Spec order).
+	Tiers []*tier.Device
 
 	retry *fabric.RetryPolicy
 	seed  uint64
@@ -100,17 +108,30 @@ func NewFioRun(cfg FioConfig) *FioRun {
 	var devs []ssd.Device
 	var ssds []*ssd.SSD
 	var wraps []*fault.Device
+	var tiers []*tier.Device
 	for i := 0; i < cfg.NumSSD; i++ {
 		d := ssd.New(loop, params)
+		if cfg.Tier != nil {
+			// Tag before preconditioning: a tiered stack must not share an
+			// FTL snapshot cache entry with an untiered run of the same
+			// device params (the tier reshapes the write stream the FTL
+			// sees after the snapshot point).
+			d.SetSnapshotTag(cfg.Tier.SnapshotTag())
+		}
 		d.Precondition(cfg.Cond, rng.Fork())
 		ssds = append(ssds, d)
+		var dev ssd.Device = d
 		if cfg.Faults != nil {
 			w := fault.Wrap(loop, d)
 			wraps = append(wraps, w)
-			devs = append(devs, w)
-		} else {
-			devs = append(devs, d)
+			dev = w
 		}
+		if cfg.Tier != nil {
+			t := tier.New(loop, dev, *cfg.Tier)
+			tiers = append(tiers, t)
+			dev = t
+		}
+		devs = append(devs, dev)
 	}
 	tcfg := fabric.DefaultTargetConfig(cfg.Scheme)
 	tcfg.CPU = cfg.CPU
@@ -120,7 +141,12 @@ func NewFioRun(cfg FioConfig) *FioRun {
 	target := fabric.NewTarget(loop, devs, tcfg)
 
 	r := &FioRun{Loop: loop, Target: target, Devices: ssds, Reg: obs.NewRegistry(),
-		Wraps: wraps, retry: cfg.Retry, seed: seed}
+		Wraps: wraps, Tiers: tiers, retry: cfg.Retry, seed: seed}
+	for i, t := range tiers {
+		if p := target.Pipeline(i); p.Gimbal != nil {
+			p.Gimbal.SetCostModel(t)
+		}
+	}
 	r.Hub = obs.NewHub(r.Reg)
 	if cfg.Trace != nil {
 		r.Hub.Tracer = obs.NewTracer(*cfg.Trace)
@@ -140,6 +166,9 @@ func NewFioRun(cfg FioConfig) *FioRun {
 			return ssds[ssdIdx].InjectDieStall(die, dur)
 		}
 		e.Fabric = func(ev fault.Event, active bool) { r.applyFabricFault(ev, active) }
+		if len(tiers) > 0 {
+			e.Tier = func(ssdIdx int, active bool) { tiers[ssdIdx].SetBypass(active) }
+		}
 		if r.Hub.Events != nil {
 			e.OnEvent = func(ev fault.Event, active bool) {
 				r.Hub.Events.Append(loop.Now(), ev.Kind.String(), fmt.Sprintf("ssd=%d", ev.SSD), active)

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gimbal/internal/sim"
+)
+
+// shrinkTierSweep shrinks the device and windows so the smoke test runs in
+// test time; the full sweep is the gimbalbench experiment.
+func shrinkTierSweep(t *testing.T) {
+	t.Helper()
+	savedCap, savedFracs := tierSweepCapacity, tierSweepFracs
+	savedWarm, savedDur := tierSweepWarm, tierSweepDur
+	savedRd, savedWr := tierSweepReaders, tierSweepWriters
+	tierSweepCapacity = 256 << 20
+	tierSweepFracs = []float64{0, 0.10}
+	tierSweepWarm = 100 * sim.Millisecond
+	tierSweepDur = 250 * sim.Millisecond
+	tierSweepReaders = 2
+	tierSweepWriters = 1
+	t.Cleanup(func() {
+		tierSweepCapacity, tierSweepFracs = savedCap, savedFracs
+		tierSweepWarm, tierSweepDur = savedWarm, savedDur
+		tierSweepReaders, tierSweepWriters = savedRd, savedWr
+	})
+}
+
+// TestTierSweepSmoke runs a shrunk sweep end to end and asserts the
+// contract the full experiment reports: the tier actually serves traffic,
+// the read tail improves over the untiered baseline, and fairness between
+// identical tenants survives the cache.
+func TestTierSweepSmoke(t *testing.T) {
+	shrinkTierSweep(t)
+	e, ok := Lookup("tier-sweep")
+	if !ok {
+		t.Fatal("tier-sweep not registered")
+	}
+	rp := RunReport(e)
+	if len(rp.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (sweep + brownout)", len(rp.Results))
+	}
+	sweep := rp.Results[0]
+	if len(sweep.Rows) != len(tierSweepFracs) {
+		t.Fatalf("sweep rows = %d, want %d", len(sweep.Rows), len(tierSweepFracs))
+	}
+	f := func(row []string, name string) float64 {
+		s := cell(t, sweep, row, name)
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("non-numeric %s cell %q", name, s)
+		}
+		return v
+	}
+	base, tiered := sweep.Rows[0], sweep.Rows[len(sweep.Rows)-1]
+	if got := cell(t, sweep, base, "hit_pct"); got != "-" {
+		t.Errorf("untiered hit_pct = %q, want -", got)
+	}
+	if hit := f(tiered, "hit_pct"); hit <= 20 {
+		t.Errorf("10%% tier hit ratio = %.1f%%, want well above 20%%", hit)
+	}
+	if wb := f(tiered, "wb_pct"); wb <= 20 {
+		t.Errorf("10%% tier write-back ratio = %.1f%%, want well above 20%%", wb)
+	}
+	p999Base, p999Tiered := f(base, "p999_rd_us"), f(tiered, "p999_rd_us")
+	if p999Tiered >= p999Base {
+		t.Errorf("p99.9 read did not improve: untiered %.0fµs vs tiered %.0fµs", p999Base, p999Tiered)
+	}
+	// Fairness retention: identical tenants must stay within a loose bound,
+	// and the tier must not be meaningfully worse than the baseline.
+	devBase, devTiered := f(base, "fair_dev_pct"), f(tiered, "fair_dev_pct")
+	if devTiered > 10 && devTiered > devBase*1.5 {
+		t.Errorf("fairness deviation %.1f%% tiered vs %.1f%% untiered", devTiered, devBase)
+	}
+	// The cost model must report a cheaper write path than raw NAND when
+	// most writes are absorbed.
+	if wc, wcBase := f(tiered, "wcost"), f(base, "wcost"); wc > wcBase {
+		t.Errorf("write cost rose with the tier: %.2f vs %.2f untiered", wc, wcBase)
+	}
+
+	chaos := rp.Results[1]
+	if len(chaos.Rows) != 2 {
+		t.Fatalf("brownout rows = %d, want 2", len(chaos.Rows))
+	}
+	fm := func(row []string) float64 {
+		s := cell(t, chaos, row, "fault_MBps")
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad fault_MBps cell %q", s)
+		}
+		return v
+	}
+	if fb, ft := fm(chaos.Rows[0]), fm(chaos.Rows[1]); ft < fb {
+		t.Errorf("brownout read bandwidth with tier %.0f MB/s < untiered %.0f MB/s", ft, fb)
+	}
+}
+
+// TestTierSweepDeterministic asserts the report is byte-identical across
+// repeated serial runs AND across worker-pool parallelism: every cell is
+// simulation-derived, so same-seed runs must agree exactly regardless of
+// how many experiments share the process (the runs share only the
+// immutable knobs and the keyed FTL snapshot cache).
+func TestTierSweepDeterministic(t *testing.T) {
+	shrinkTierSweep(t)
+	e, _ := Lookup("tier-sweep")
+	a, b := RunReport(e), RunReport(e)
+	for ri := range a.Results {
+		ra, rb := a.Results[ri], b.Results[ri]
+		if len(ra.Rows) != len(rb.Rows) {
+			t.Fatalf("result %d row count differs", ri)
+		}
+		for i := range ra.Rows {
+			if strings.Join(ra.Rows[i], "|") != strings.Join(rb.Rows[i], "|") {
+				t.Fatalf("result %d row %d differs:\n  %v\n  %v", ri, i, ra.Rows[i], rb.Rows[i])
+			}
+		}
+	}
+
+	serial := renderReport(t, a)
+	reports, err := RunAll([]string{"tier-sweep", "tier-sweep", "tier-sweep"}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rp := range reports {
+		if got := renderReport(t, rp); !bytes.Equal(serial, got) {
+			t.Fatalf("parallel tier-sweep run %d differs from serial run", i)
+		}
+	}
+}

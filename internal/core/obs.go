@@ -17,6 +17,7 @@ type switchObs struct {
 	pacingStalls *obs.Counter
 	costTicks    *obs.Counter
 	costChanges  *obs.Counter
+	tierHits     *obs.Counter
 
 	// Recovery counters (tentpole: failure handling).
 	abortedIOs      *obs.Counter
@@ -65,6 +66,7 @@ func (sw *Switch) AttachObs(h *obs.Hub, ssdIdx int) {
 		pacingStalls:    reg.Counter("gimbal_pacing_stalls_total", lb),
 		costTicks:       reg.Counter("gimbal_cost_ticks_total", lb),
 		costChanges:     reg.Counter("gimbal_cost_changes_total", lb),
+		tierHits:        reg.Counter("gimbal_tier_served_total", lb),
 		abortedIOs:      reg.Counter("gimbal_aborted_ios_total", lb),
 		failFastRejects: reg.Counter("gimbal_failfast_rejects_total", lb),
 		failLatches:     reg.Counter("gimbal_failfast_latches_total", lb),
@@ -97,6 +99,7 @@ func (sw *Switch) AttachObs(h *obs.Hub, ssdIdx int) {
 	}
 
 	reg.Help("gimbal_pacing_stalls_total", "IOs that waited for rate-pacer tokens")
+	reg.Help("gimbal_tier_served_total", "IOs served by an interposed fast tier without touching NAND")
 	reg.Help("gimbal_aborted_ios_total", "IOs completed with StatusAborted at the switch (teardown or late capsule)")
 	reg.Help("gimbal_failfast_rejects_total", "IOs rejected while the device was latched failed")
 	reg.Help("gimbal_failfast_latches_total", "times the fail-fast latch engaged")
@@ -184,6 +187,13 @@ func (o *switchObs) onComplete(io *nvme.IO, doneAt int64) {
 	if devLat < 0 {
 		devLat = 0
 	}
+	var tierNs int64
+	if io.FastTier {
+		// The fast tier served the whole device span; attribute it to the
+		// tier phase so "device" reads as NAND time.
+		tierNs = devLat
+		o.tierHits.Inc()
+	}
 	isWrite := io.Op.IsWrite()
 	if isWrite {
 		o.writeDevLat.Record(devLat)
@@ -208,6 +218,7 @@ func (o *switchObs) onComplete(io *nvme.IO, doneAt int64) {
 			Done:    doneAt,
 			VslotNs: io.VslotWait,
 			GCNs:    io.GCWait,
+			TierNs:  tierNs,
 		})
 		slot := o.readDevEx
 		if isWrite {

@@ -111,6 +111,16 @@ type View struct {
 	Failed   bool
 }
 
+// CostModeler reports where the write bytes of a heterogeneous device
+// stack are landing: absorb is the fraction absorbed by a fast tier (cost
+// 1, no amplification), nandWA the NAND side's current cumulative write
+// amplification (a floor on its cost). The tier device implements this;
+// the switch polls it each cost period so DRR credits reflect where an IO
+// actually lands.
+type CostModeler interface {
+	WriteCostModel() (absorb, nandWA float64)
+}
+
 // Switch is the Gimbal storage switch for one SSD. It implements
 // nvme.Scheduler.
 type Switch struct {
@@ -133,6 +143,10 @@ type Switch struct {
 
 	writesInPeriod int
 	pumping        bool
+
+	// costModel, when set, is polled each cost period to blend the write
+	// cost with a fast tier's absorption (SetCostModel).
+	costModel CostModeler
 
 	// Recovery state (all zero and untouched unless cfg.Recovery enables
 	// the corresponding feature, keeping the healthy path branch-cheap).
@@ -184,6 +198,12 @@ func (sw *Switch) Register(t *nvme.Tenant) { sw.drr.Register(t) }
 // construction (the facade arms it when a fault plan is injected). Call
 // from scheduler context before the faults fire.
 func (sw *Switch) EnableRecovery(rc RecoveryConfig) { sw.cfg.Recovery = rc }
+
+// SetCostModel attaches a per-device cost model (a fast-tier wrapper);
+// the cost tick polls it and blends the write-cost estimate so upstream
+// DRR credits reflect where writes actually land. Call from scheduler
+// context before traffic; nil detaches.
+func (sw *Switch) SetCostModel(m CostModeler) { sw.costModel = m }
 
 // Unregister implements nvme.TenantRemover: it reclaims the tenant's DRR
 // and vslot state and returns its never-dispatched IOs for the caller to
@@ -358,6 +378,12 @@ func (sw *Switch) costTick() {
 	}
 	if sw.obs != nil {
 		sw.obs.costTicks.Inc()
+	}
+	if sw.costModel != nil {
+		// Poll the device stack's cost model before the zero-write early
+		// return: the tier's absorb fraction must refresh even through
+		// read-only periods.
+		sw.cost.SetTierMix(sw.costModel.WriteCostModel())
 	}
 	if sw.writesInPeriod == 0 || !sw.wmon.Initialized() {
 		return

@@ -18,9 +18,22 @@ func DefaultConfig() Config { return Config{Worst: 9, Delta: 0.5} }
 
 // Estimator tracks the current write cost. Update is driven periodically
 // by the switch using the write latency monitor.
+//
+// When a fast tier sits in front of the NAND device, SetTierMix blends
+// the estimate: the fraction of write bytes the tier absorbs costs 1
+// (tier writes see no amplification), the remainder costs the NAND-side
+// estimate floored by the tier's reported GC pressure. With no tier
+// configured (absorb ≤ 0, the zero value) the estimator is bit-identical
+// to the paper's.
 type Estimator struct {
 	cfg  Config
 	cost float64
+
+	// Tier mix (SetTierMix): absorb is the fraction of write bytes the
+	// fast tier absorbs; floor is the NAND-side cost floor derived from
+	// its current write amplification. absorb ≤ 0 disables blending.
+	absorb float64
+	floor  float64
 }
 
 // New returns an estimator starting at the worst case — the safe baseline
@@ -49,8 +62,45 @@ func (e *Estimator) Update(calm bool) float64 {
 	return e.cost
 }
 
-// Cost returns the current write cost (≥ 1).
-func (e *Estimator) Cost() float64 { return e.cost }
+// SetTierMix updates the tier blend: absorb ∈ [0,1] is the fraction of
+// write bytes landing in the fast tier, floor (≥ 1, typically the NAND's
+// current write amplification) bounds how far a calm NAND estimate may
+// fall while unabsorbed writes still pay for garbage collection. Passing
+// absorb ≤ 0 restores the unblended estimator exactly.
+func (e *Estimator) SetTierMix(absorb, floor float64) {
+	if absorb < 0 {
+		absorb = 0
+	}
+	if absorb > 1 {
+		absorb = 1
+	}
+	if floor < 1 {
+		floor = 1
+	}
+	if floor > e.cfg.Worst {
+		floor = e.cfg.Worst
+	}
+	e.absorb = absorb
+	e.floor = floor
+}
+
+// Cost returns the current write cost (≥ 1). With a tier mix set, the
+// ADMI estimate applies only to the unabsorbed fraction (floored by the
+// NAND GC pressure); absorbed bytes cost 1.
+func (e *Estimator) Cost() float64 {
+	if e.absorb <= 0 {
+		return e.cost
+	}
+	nand := e.cost
+	if nand < e.floor {
+		nand = e.floor
+	}
+	c := e.absorb*1 + (1-e.absorb)*nand
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
 
 // Worst returns the configured worst case.
 func (e *Estimator) Worst() float64 { return e.cfg.Worst }
@@ -62,5 +112,5 @@ func (e *Estimator) WeightedSize(isWrite bool, size int) int64 {
 	if !isWrite {
 		return int64(size)
 	}
-	return int64(e.cost * float64(size))
+	return int64(e.Cost() * float64(size))
 }

@@ -73,6 +73,64 @@ func TestWorstBelowOneClamped(t *testing.T) {
 	}
 }
 
+func TestTierMixBlendsCost(t *testing.T) {
+	e := New(DefaultConfig()) // cost starts at worst = 9
+
+	// Half the write bytes absorbed by the tier: cost is the midpoint of
+	// 1 (tier) and 9 (NAND).
+	e.SetTierMix(0.5, 1)
+	if got := e.Cost(); got != 5 {
+		t.Fatalf("50%% absorb over worst-case NAND: cost %v, want 5", got)
+	}
+	// Fully absorbed: unit cost regardless of the NAND estimate.
+	e.SetTierMix(1, 1)
+	if got := e.Cost(); got != 1 {
+		t.Fatalf("full absorb: cost %v, want 1", got)
+	}
+	// The floor keeps unabsorbed writes paying for NAND GC even when the
+	// ADMI estimate has decayed to calm.
+	for i := 0; i < 100; i++ {
+		e.Update(true)
+	}
+	e.SetTierMix(0.5, 3)
+	if got := e.Cost(); got != 2 {
+		t.Fatalf("calm NAND with WA floor 3: cost %v, want 0.5*1+0.5*3 = 2", got)
+	}
+	// Out-of-range inputs clamp: absorb into [0,1], floor into [1, worst].
+	e.SetTierMix(2, 100)
+	if got := e.Cost(); got != 1 {
+		t.Fatalf("absorb clamps to 1: cost %v, want 1", got)
+	}
+	e.SetTierMix(0.5, 100)
+	if got := e.Cost(); got != 5 {
+		t.Fatalf("floor clamps to worst: cost %v, want 5", got)
+	}
+	if got := e.WeightedSize(true, 4096); got != 5*4096 {
+		t.Fatalf("weighted size uses the blended cost: %d, want %d", got, 5*4096)
+	}
+}
+
+// TestTierMixZeroIsExact pins the no-tier ablation: absorb ≤ 0 must leave
+// Cost and WeightedSize bit-identical to the unblended estimator at every
+// step, so untiered runs reproduce pre-tier goldens byte for byte.
+func TestTierMixZeroIsExact(t *testing.T) {
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	b.SetTierMix(0, 3)  // absorb 0: disabled no matter the floor
+	b.SetTierMix(-1, 7) // and negative clamps to disabled
+	for i := 0; i < 40; i++ {
+		calm := i%3 != 0
+		a.Update(calm)
+		b.Update(calm)
+		if a.Cost() != b.Cost() {
+			t.Fatalf("step %d: cost diverged %v vs %v", i, a.Cost(), b.Cost())
+		}
+		if a.WeightedSize(true, 4096) != b.WeightedSize(true, 4096) {
+			t.Fatalf("step %d: weighted size diverged", i)
+		}
+	}
+}
+
 // Property: cost always stays within [1, worst].
 func TestCostBoundsProperty(t *testing.T) {
 	f := func(calms []bool) bool {

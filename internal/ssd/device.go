@@ -59,6 +59,11 @@ type Request struct {
 	// FIFO timeline.
 	GCWait int64
 
+	// FastTier marks a request served by an interposed fast-tier device
+	// (internal/tier) rather than NAND; the tracing layer attributes the
+	// device span accordingly.
+	FastTier bool
+
 	// Tag is opaque to the device; upper layers use it to route
 	// completions (tenant, qpair, command id).
 	Tag any
@@ -194,6 +199,10 @@ type SSD struct {
 
 	stats Stats
 
+	// snapTag extends the precondition snapshot cache key with the owning
+	// stack's configuration (SetSnapshotTag); 0 = plain untiered device.
+	snapTag uint64
+
 	// obs is the attached telemetry sink; nil by default (hot paths only
 	// nil-check it).
 	obs *deviceObs
@@ -223,6 +232,13 @@ func New(sched sim.Scheduler, p Params) *SSD {
 
 // Params returns the device parameters.
 func (s *SSD) Params() Params { return s.p }
+
+// SetSnapshotTag namespaces this device's precondition snapshot cache
+// entries: stacks that wrap the device (a fast tier, say) set a tag derived
+// from their configuration so their preconditioned state never collides
+// with an untiered device of identical Params. Must be called before
+// Precondition.
+func (s *SSD) SetSnapshotTag(tag uint64) { s.snapTag = tag }
 
 // Capacity implements Device.
 func (s *SSD) Capacity() int64 { return s.p.UsableBytes }

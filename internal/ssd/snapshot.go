@@ -21,11 +21,15 @@ import (
 // Experiment output is therefore byte-identical with the cache on or off.
 
 // precondKey identifies one reachable post-precondition state. Clean ignores
-// the RNG, so its seed is normalized to 0 to widen sharing.
+// the RNG, so its seed is normalized to 0 to widen sharing. tag carries the
+// caller's configuration fingerprint (SetSnapshotTag): a device fronted by a
+// fast tier must not share an entry with an untiered one even though Params
+// match, because the owning stacks diverge afterwards.
 type precondKey struct {
 	params Params
 	cond   Condition
 	seed   uint64
+	tag    uint64
 }
 
 // ftlSnapshot is a deep copy of everything Precondition mutates: the mapping
@@ -125,7 +129,7 @@ func (s *SSD) restore(snap *ftlSnapshot) {
 // preconditionCached serves Precondition from the snapshot cache, running
 // the real fill exactly once per distinct (params, condition, rng state).
 func (s *SSD) preconditionCached(c Condition, rng *sim.RNG) {
-	key := precondKey{params: s.p, cond: c}
+	key := precondKey{params: s.p, cond: c, tag: s.snapTag}
 	if c == Fragmented {
 		if rng == nil {
 			rng = sim.NewRNG(1)

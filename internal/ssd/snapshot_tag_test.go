@@ -1,0 +1,64 @@
+package ssd
+
+import (
+	"testing"
+
+	"gimbal/internal/sim"
+)
+
+// countSnapshots returns how many cache entries exist for the given params
+// name (the rest of the key varies by condition/seed/tag).
+func countSnapshots(name string) int {
+	precondCache.mu.Lock()
+	defer precondCache.mu.Unlock()
+	n := 0
+	for k := range precondCache.m {
+		if k.params.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSnapshotTagSeparatesCacheEntries pins the fast-tier regression: a
+// device fronted by a tier carries a non-zero snapshot tag, and its
+// preconditioning snapshot must not collide with an untiered device of
+// identical Params — nor with a tier of a different configuration.
+func TestSnapshotTagSeparatesCacheEntries(t *testing.T) {
+	p := DCT983()
+	p.Name = "snap-tag-test" // unique cache key namespace for this test
+	p.UsableBytes = 16 << 20
+
+	untiered := New(sim.NewLoop(), p)
+	untiered.Precondition(Fragmented, sim.NewRNG(42))
+	if got := countSnapshots(p.Name); got != 1 {
+		t.Fatalf("after untiered precondition: %d entries, want 1", got)
+	}
+
+	tiered := New(sim.NewLoop(), p)
+	tiered.SetSnapshotTag(0xfee1600d) // must precede Precondition
+	tiered.Precondition(Fragmented, sim.NewRNG(42))
+	if got := countSnapshots(p.Name); got != 2 {
+		t.Fatalf("tiered run shared the untiered snapshot entry: %d entries, want 2", got)
+	}
+
+	// A different tier configuration gets its own entry too.
+	other := New(sim.NewLoop(), p)
+	other.SetSnapshotTag(0xdecafbad)
+	other.Precondition(Fragmented, sim.NewRNG(42))
+	if got := countSnapshots(p.Name); got != 3 {
+		t.Fatalf("distinct tags collided: %d entries, want 3", got)
+	}
+
+	// Identical tag + params + seed is a hit, not a fourth entry, and the
+	// restored state matches the captured one exactly.
+	again := New(sim.NewLoop(), p)
+	again.SetSnapshotTag(0xfee1600d)
+	again.Precondition(Fragmented, sim.NewRNG(42))
+	if got := countSnapshots(p.Name); got != 3 {
+		t.Fatalf("same-tag rerun missed the cache: %d entries, want 3", got)
+	}
+	if err := compareFTL(again.ftl, tiered.ftl); err != nil {
+		t.Fatalf("cache-hit restore diverged from the original: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package tier
+
+// pageTable maps a logical page number to its fast-tier slot — the residency
+// probe taken once per page of every IO through a tiered device. It follows
+// the bufTable discipline from the SSD model (PR 4): open addressing, linear
+// probing, uint32 keys, backward-shift deletion, zero allocations after
+// construction. Unlike bufTable it is fixed-size: the maximum entry count is
+// the tier's slot count, known at construction, so the table is sized once
+// for a bounded load factor and never grows.
+//
+// Values store slot+1 so that 0 means "empty"; keys then need no reserved
+// sentinel.
+type pageTable struct {
+	keys []uint32
+	vals []uint32
+	used int
+}
+
+const pageTableMinSize = 1024 // power of two
+
+// initFor sizes the table for up to n live entries at ≤50% load.
+func (t *pageTable) initFor(n int) {
+	size := pageTableMinSize
+	for size < n*2 {
+		size *= 2
+	}
+	t.keys = make([]uint32, size)
+	t.vals = make([]uint32, size)
+	t.used = 0
+}
+
+// slot returns a key's home slot (Knuth multiplicative hash; the odd
+// multiplier spreads dense sequential page numbers across the table).
+func (t *pageTable) slot(key uint32) uint32 {
+	return (key * 2654435761) & uint32(len(t.keys)-1)
+}
+
+// get returns slot+1 for key, or 0 when the page is not resident.
+func (t *pageTable) get(key uint32) uint32 {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); t.vals[i] != 0; i = (i + 1) & mask {
+		if t.keys[i] == key {
+			return t.vals[i]
+		}
+	}
+	return 0
+}
+
+// put inserts or updates key -> slot+1. The caller guarantees the live
+// entry count never exceeds the initFor bound.
+func (t *pageTable) put(key, slotPlus1 uint32) {
+	mask := uint32(len(t.keys) - 1)
+	i := t.slot(key)
+	for t.vals[i] != 0 {
+		if t.keys[i] == key {
+			t.vals[i] = slotPlus1
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i] = key
+	t.vals[i] = slotPlus1
+	t.used++
+}
+
+// del removes key if present, preserving probe-chain reachability of every
+// remaining entry by backward shift.
+func (t *pageTable) del(key uint32) {
+	mask := uint32(len(t.keys) - 1)
+	for i := t.slot(key); t.vals[i] != 0; i = (i + 1) & mask {
+		if t.keys[i] != key {
+			continue
+		}
+		t.used--
+		for {
+			t.vals[i] = 0
+			j := i
+			for {
+				j = (j + 1) & mask
+				if t.vals[j] == 0 {
+					return
+				}
+				home := t.slot(t.keys[j])
+				// Entry j may fill the hole at i only if its home slot does
+				// not lie strictly inside the cyclic interval (i, j].
+				if (j-home)&mask >= (j-i)&mask {
+					t.keys[i] = t.keys[j]
+					t.vals[i] = t.vals[j]
+					i = j
+					break
+				}
+			}
+		}
+	}
+}

@@ -34,8 +34,14 @@ type Profile struct {
 	IOSize    int
 	QD        int  // concurrent IOs (closed loop)
 	Seq       bool // sequential vs uniform random offsets
-	Priority  nvme.Priority
-	Class     int // QoS class (hierarchical DRR); 0 = default class
+
+	// Zipf skews random offsets with a Zipfian(theta) popularity law over
+	// the span's IO slots, scattered across the address range (0 =
+	// uniform, the default; meaningful values are in (0,1), e.g. 0.99).
+	// Ignored for sequential streams.
+	Zipf     float64
+	Priority nvme.Priority
+	Class    int // QoS class (hierarchical DRR); 0 = default class
 
 	// RateLimitBps caps the stream's submission rate (0 = unlimited);
 	// used by Fig 9's rate-limited workers.
@@ -90,6 +96,10 @@ type Worker struct {
 	// ioFree recycles completed IO structs: a closed-loop worker has at
 	// most QD outstanding, so after warmup every submission reuses one.
 	ioFree []*nvme.IO
+
+	// zipf generates skewed offsets when the profile asks for them; built
+	// lazily in Start (the span may not be known at construction).
+	zipf *Zipf
 }
 
 // NewWorker builds a worker. Span must be a positive multiple of IOSize if
@@ -127,6 +137,9 @@ func (w *Worker) Start(stopAt int64) {
 	}
 	w.stopAt = stopAt
 	w.paceAt = w.loop.Now()
+	if w.p.Zipf > 0 && !w.p.Seq && w.zipf == nil {
+		w.zipf = NewZipf(w.rng, uint64(w.p.Span/int64(w.p.IOSize)), w.p.Zipf)
+	}
 	for i := 0; i < w.p.QD; i++ {
 		w.trySubmit()
 	}
@@ -171,6 +184,9 @@ func (w *Worker) trySubmit() {
 		if w.cursor+int64(w.p.IOSize) > w.p.Span {
 			w.cursor = 0
 		}
+	} else if w.zipf != nil {
+		// Skewed popularity, scattered so hot slots are not adjacent.
+		off = w.p.Base + int64(w.zipf.ScatteredNext())*int64(w.p.IOSize)
 	} else {
 		slots := w.p.Span / int64(w.p.IOSize)
 		off = w.p.Base + w.rng.Int63n(slots)*int64(w.p.IOSize)
